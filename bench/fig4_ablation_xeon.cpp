@@ -1,0 +1,15 @@
+// Figure 4 reproduction: efficiency vs task granularity of the runtime
+// with and without each optimization, on the Intel Xeon preset.
+// Benchmarks shown in the paper's Fig. 4: Lulesh, Dot Product, miniAMR,
+// Cholesky.  Expected shape: all variants converge at coarse granularity;
+// at fine granularity the "optimized" curve stays highest, with the
+// removed-optimization curves dropping off earlier (which one dominates is
+// benchmark-dependent, §6.2).
+#include "bench/fig_common.hpp"
+
+int main() {
+  ats::bench::runFigure("fig4", ats::MachinePreset::Xeon,
+                        {"lulesh", "dotprod", "miniamr", "cholesky"},
+                        ats::bench::ablationVariants());
+  return 0;
+}

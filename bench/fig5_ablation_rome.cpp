@@ -1,0 +1,14 @@
+// Figure 5 reproduction: the ablation sweep on the AMD Rome preset (the
+// paper's largest machine: 128 threads, 8 NUMA domains).  Benchmarks:
+// NBody, HPCCG, miniAMR, Matmul.  The paper highlights that the scheduler
+// optimization (DTLock) matters most here because of the core count —
+// with ATS_FULL=1 and a matching ATS_THREADS this preset exercises 8 SPSC
+// add-buffers.
+#include "bench/fig_common.hpp"
+
+int main() {
+  ats::bench::runFigure("fig5", ats::MachinePreset::Rome,
+                        {"nbody", "hpccg", "miniamr", "matmul"},
+                        ats::bench::ablationVariants());
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 6 reproduction: the ablation sweep on the ARM Graviton2 preset
+// (64 threads, single NUMA domain — the paper notes behaviours differ
+// here "due to the lack of NUMA effects").  Benchmarks: Heat, HPCCG,
+// miniAMR, Matmul.
+#include "bench/fig_common.hpp"
+
+int main() {
+  ats::bench::runFigure("fig6", ats::MachinePreset::Graviton,
+                        {"heat", "hpccg", "miniamr", "matmul"},
+                        ats::bench::ablationVariants());
+  return 0;
+}

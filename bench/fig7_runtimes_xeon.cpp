@@ -1,0 +1,14 @@
+// Figure 7 reproduction: the optimized runtime ("nanos6") versus the
+// OpenMP-runtime architectural stand-ins on the Intel Xeon preset.
+// Benchmarks: Heat, Dot Product, miniAMR, Cholesky.  Expected shape
+// (paper §6.3): nanos6 best at small granularities; the work-stealing
+// (LLVM-family) stand-in second; the central-mutex (GOMP) stand-in drops
+// off first.
+#include "bench/fig_common.hpp"
+
+int main() {
+  ats::bench::runFigure("fig7", ats::MachinePreset::Xeon,
+                        {"heat", "dotprod", "miniamr", "cholesky"},
+                        ats::bench::runtimeComparisonVariants());
+  return 0;
+}

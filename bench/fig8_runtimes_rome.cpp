@@ -1,0 +1,12 @@
+// Figure 8 reproduction: runtime comparison on the AMD Rome preset.
+// Benchmarks: HPCCG, NBody, miniAMR, Matmul.  The paper's AOCC runtime is
+// LLVM-based and ties the LLVM curve, so the llvm_like stand-in covers
+// both.
+#include "bench/fig_common.hpp"
+
+int main() {
+  ats::bench::runFigure("fig8", ats::MachinePreset::Rome,
+                        {"hpccg", "nbody", "miniamr", "matmul"},
+                        ats::bench::runtimeComparisonVariants());
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 9 reproduction: runtime comparison on the ARM Graviton2 preset
+// (paper compares Nanos6, GCC and LLVM there).  Benchmarks: Heat, HPCCG,
+// miniAMR, Matmul.
+#include "bench/fig_common.hpp"
+
+int main() {
+  ats::bench::runFigure("fig9", ats::MachinePreset::Graviton,
+                        {"heat", "hpccg", "miniamr", "matmul"},
+                        ats::bench::runtimeComparisonVariants());
+  return 0;
+}

@@ -1,0 +1,116 @@
+#include "bench/fig_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "common/env.hpp"
+#include "common/stats.hpp"
+#include "runtime/runtime.hpp"
+
+namespace ats::bench {
+
+const std::vector<Variant>& ablationVariants() {
+  static const std::vector<Variant> v = {
+      {"optimized", &optimizedConfig},
+      {"wo_jemalloc", &withoutJemallocConfig},
+      {"wo_waitfree_deps", &withoutWaitFreeDepsConfig},
+      {"wo_dtlock", &withoutDTLockConfig},
+  };
+  return v;
+}
+
+const std::vector<Variant>& runtimeComparisonVariants() {
+  static const std::vector<Variant> v = {
+      {"nanos6", &optimizedConfig},
+      {"gcc_like", &centralMutexRuntimeConfig},
+      {"llvm_like", &workStealingRuntimeConfig},
+  };
+  return v;
+}
+
+SweepConfig resolveSweepConfig(MachinePreset preset) {
+  SweepConfig cfg;
+  const bool full = envFlag("ATS_FULL");
+  cfg.scale = full ? AppScale::Full : AppScale::Quick;
+  const std::size_t defaultThreads =
+      full ? makeTopology(preset).numCpus : 4;
+  cfg.topo = makeTopology(preset, envSize("ATS_THREADS", defaultThreads));
+  cfg.reps = envSize("ATS_REPS", full ? 5 : 2);
+  cfg.maxPoints = full ? 64 : 5;
+  return cfg;
+}
+
+namespace {
+
+/// Subsample a coarse->fine size list to at most `maxPoints`, always
+/// keeping both endpoints.
+std::vector<std::size_t> selectSizes(std::vector<std::size_t> sizes,
+                                     std::size_t maxPoints) {
+  if (sizes.size() <= maxPoints) return sizes;
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < maxPoints; ++i)
+    out.push_back(sizes[i * (sizes.size() - 1) / (maxPoints - 1)]);
+  return out;
+}
+
+}  // namespace
+
+void runFigure(const std::string& figure, MachinePreset preset,
+               const std::vector<std::string>& apps,
+               const std::vector<Variant>& variants) {
+  const SweepConfig cfg = resolveSweepConfig(preset);
+  std::printf("# %s: %s preset, %zu threads, %zu NUMA domains, %zu reps, "
+              "%s scale\n",
+              figure.c_str(), presetName(preset), cfg.topo.numCpus,
+              cfg.topo.numNumaDomains, cfg.reps,
+              cfg.scale == AppScale::Full ? "full" : "quick");
+  std::printf("# efficiency = 100 * throughput / peak-throughput-per-app "
+              "(paper §6.2); higher is better\n\n");
+
+  for (const std::string& appName : apps) {
+    auto app = makeApp(appName, cfg.scale);
+    const auto sizes = selectSizes(app->defaultBlockSizes(), cfg.maxPoints);
+
+    // grid[v][s] = mean throughput of variant v at size s.
+    std::vector<std::vector<double>> grid(variants.size());
+    std::vector<double> grains(sizes.size(), 0.0);
+    double peak = 0.0;
+
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      Runtime rt(variants[v].make(cfg.topo));
+      for (std::size_t s = 0; s < sizes.size(); ++s) {
+        RunningStats stats;
+        for (std::size_t rep = 0; rep < cfg.reps; ++rep) {
+          const AppResult r = app->run(rt, sizes[s]);
+          if (!r.verified) {
+            std::fprintf(stderr,
+                         "FATAL: %s failed verification (variant %s, "
+                         "block %zu, checksum %.17g)\n",
+                         appName.c_str(), variants[v].label.c_str(),
+                         sizes[s], r.checksum);
+            std::exit(1);
+          }
+          stats.add(r.throughput());
+          grains[s] = r.grainWorkUnits();
+        }
+        grid[v].push_back(stats.mean());
+        peak = std::max(peak, stats.mean());
+      }
+    }
+
+    std::printf("# %s %s\n", figure.c_str(), appName.c_str());
+    std::printf("%-18s", "grain_work_units");
+    for (const Variant& v : variants) std::printf("  %-18s", v.label.c_str());
+    std::printf("\n");
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+      std::printf("%-18.3g", grains[s]);
+      for (std::size_t v = 0; v < variants.size(); ++v)
+        std::printf("  %-18.1f", peak > 0 ? 100.0 * grid[v][s] / peak : 0.0);
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace ats::bench

@@ -1,0 +1,99 @@
+// Ablation sweeps for the design choices DESIGN.md calls out beyond the
+// paper's three headline optimizations:
+//
+//  * SPSC add-buffer capacity (paper Listing 5 hardcodes 100; we default
+//    to 256 — how sensitive is throughput to it, including the overflow
+//    help-drain path at tiny capacities?)
+//  * add-buffer layout: one queue per NUMA domain vs a single shared one
+//    (§3.1: "can be configured from a single one to one per core")
+//  * scheduling policy plugged into the SyncScheduler (FIFO / LIFO /
+//    NUMA-aware FIFO): the §3.2 extensibility argument, measured
+//  * serve-one delegation (Listing 5) vs the §8 flat-combining batch
+//    serve
+//
+// Each configuration runs the same fine-grained chain workload through
+// the full runtime; items/sec = tasks executed per second.
+#include <benchmark/benchmark.h>
+
+#include "runtime/runtime.hpp"
+
+namespace {
+
+using namespace ats;
+
+constexpr std::size_t kThreads = 4;
+constexpr int kBatch = 2000;
+
+void runWorkload(benchmark::State& state, const RuntimeConfig& cfg) {
+  Runtime rt(cfg);
+  long long vars[32] = {};
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      long long& v = vars[i % 32];
+      rt.spawn({inout(v)}, [&v] { ++v; });
+    }
+    rt.taskwait();
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+void BM_SpscCapacity(benchmark::State& state) {
+  RuntimeConfig cfg = optimizedConfig(makeTopology(MachinePreset::Host,
+                                                   kThreads));
+  cfg.spscCapacity = static_cast<std::size_t>(state.range(0));
+  runWorkload(state, cfg);
+}
+BENCHMARK(BM_SpscCapacity)
+    ->Arg(4)->Arg(32)->Arg(100)->Arg(256)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AddBufferLayout(benchmark::State& state) {
+  // Rome preset shape at kThreads workers: range(0)==1 keeps the preset's
+  // multi-domain layout (one SPSC per domain), 0 collapses to one domain
+  // (single shared buffer).
+  Topology topo = makeTopology(MachinePreset::Rome, kThreads);
+  if (state.range(0) == 0) topo.numNumaDomains = 1;
+  RuntimeConfig cfg = optimizedConfig(topo);
+  runWorkload(state, cfg);
+}
+BENCHMARK(BM_AddBufferLayout)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_Policy(benchmark::State& state) {
+  RuntimeConfig cfg = optimizedConfig(makeTopology(MachinePreset::Host,
+                                                   kThreads));
+  cfg.policy = static_cast<PolicyKind>(state.range(0));
+  runWorkload(state, cfg);
+}
+BENCHMARK(BM_Policy)
+    ->Arg(int(PolicyKind::Fifo))
+    ->Arg(int(PolicyKind::Lifo))
+    ->Arg(int(PolicyKind::NumaFifo))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SchedulerKind(benchmark::State& state) {
+  // All five scheduler architectures on identical deps/alloc: SyncDTLock,
+  // PTLockCentral, WorkStealing, CentralMutex, Hierarchical (§7).
+  RuntimeConfig cfg = optimizedConfig(makeTopology(MachinePreset::Host,
+                                                   kThreads));
+  cfg.scheduler = static_cast<SchedulerKind>(state.range(0));
+  runWorkload(state, cfg);
+}
+BENCHMARK(BM_SchedulerKind)
+    ->Arg(int(SchedulerKind::SyncDTLock))
+    ->Arg(int(SchedulerKind::PTLockCentral))
+    ->Arg(int(SchedulerKind::WorkStealing))
+    ->Arg(int(SchedulerKind::CentralMutex))
+    ->Arg(int(SchedulerKind::Hierarchical))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ServeMode(benchmark::State& state) {
+  RuntimeConfig cfg = optimizedConfig(makeTopology(MachinePreset::Host,
+                                                   kThreads));
+  cfg.schedBatchServe = state.range(0) != 0;
+  runWorkload(state, cfg);
+}
+BENCHMARK(BM_ServeMode)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// §3.2 claim: "PTLocks perform as well as more complex designs such as
+// MCS or Ticket Locks Augmented with a Waiting Array (TWA)", and plain
+// Ticket Locks degrade under load.  Contended critical-section throughput
+// for every lock in the suite, at 1/2/4/8 threads.
+#include <benchmark/benchmark.h>
+
+#include "locks/locks.hpp"
+
+namespace {
+
+using namespace ats;
+
+// Tiny critical section (a counter bump) maximizes the share of lock
+// overhead in the measurement — the §3.2 regime.
+template <typename LockT>
+void contendedCounter(benchmark::State& state, LockT& lock,
+                      std::uint64_t& counter) {
+  for (auto _ : state) {
+    lock.lock();
+    benchmark::DoNotOptimize(++counter);
+    lock.unlock();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_SpinLock(benchmark::State& state) {
+  static SpinLock lock;
+  static std::uint64_t counter = 0;
+  contendedCounter(state, lock, counter);
+}
+void BM_TicketLock(benchmark::State& state) {
+  static TicketLock lock;
+  static std::uint64_t counter = 0;
+  contendedCounter(state, lock, counter);
+}
+void BM_PTLock(benchmark::State& state) {
+  static PTLock lock(64);
+  static std::uint64_t counter = 0;
+  contendedCounter(state, lock, counter);
+}
+void BM_McsLock(benchmark::State& state) {
+  static McsLock lock;
+  static std::uint64_t counter = 0;
+  contendedCounter(state, lock, counter);
+}
+void BM_TWALock(benchmark::State& state) {
+  static TWALock lock;
+  static std::uint64_t counter = 0;
+  contendedCounter(state, lock, counter);
+}
+void BM_StdMutex(benchmark::State& state) {
+  static std::mutex lock;
+  static std::uint64_t counter = 0;
+  contendedCounter(state, lock, counter);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SpinLock)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK(BM_TicketLock)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK(BM_PTLock)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK(BM_McsLock)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK(BM_TWALock)->ThreadRange(1, 8)->UseRealTime();
+BENCHMARK(BM_StdMutex)->ThreadRange(1, 8)->UseRealTime();
+
+BENCHMARK_MAIN();
