@@ -4,6 +4,8 @@
 // for every lock in the suite, at 1/2/4/8 threads.
 #include <benchmark/benchmark.h>
 
+#include <mutex>
+
 #include "locks/locks.hpp"
 
 namespace {

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ats {
+
+/// True when `name` is set to anything but "", "0", "false", "off", "no".
+/// The ATS_FULL / ATS_TRACE-style switches documented in EXPERIMENTS.md
+/// all go through this helper.
+bool envFlag(const char* name);
+
+/// Unsigned size from the environment, or `fallback` when unset/garbage.
+std::size_t envSize(const char* name, std::size_t fallback);
+
+/// String from the environment, or `fallback` when unset.
+std::string envString(const char* name, const std::string& fallback);
+
+}  // namespace ats

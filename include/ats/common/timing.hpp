@@ -1,0 +1,46 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ats {
+
+/// Nanoseconds on the monotonic clock.  All latency/throughput numbers in
+/// the repo are derived from this single source so figures are comparable.
+inline std::uint64_t nowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Polite busy-wait hint: tells the core we are spinning so SMT siblings
+/// (and, on x86, the memory-order machinery) can deprioritize us.
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Wall-clock stopwatch for coarse phase timing (figure sweeps, app runs).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(nowNanos()) {}
+
+  void restart() { start_ = nowNanos(); }
+
+  std::uint64_t elapsedNanos() const { return nowNanos() - start_; }
+
+  double elapsedSeconds() const {
+    return static_cast<double>(elapsedNanos()) * 1e-9;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace ats

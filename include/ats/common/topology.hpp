@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+
+namespace ats {
+
+/// The machines of the paper's evaluation (§6.1) plus the host we happen
+/// to run on.  Presets fix the CPU/NUMA shape so figure output is
+/// comparable across hosts; `Host` adapts to the current machine.
+enum class MachinePreset {
+  Host,      ///< whatever std::thread::hardware_concurrency reports
+  Xeon,      ///< 2x Intel Xeon Platinum 8160 (24c each), 2 NUMA domains
+  Rome,      ///< 2x AMD EPYC 7742 (64c each), 8 NUMA domains (NPS4)
+  Graviton,  ///< AWS Graviton2, 64 cores, single NUMA domain
+};
+
+/// CPU/NUMA shape the runtime layers size themselves from: one SPSC
+/// add-buffer per CPU, one ready-queue shard per NUMA domain, etc.
+struct Topology {
+  std::size_t numCpus = 1;
+  std::size_t numNumaDomains = 1;
+  std::size_t cacheLineBytes = 64;
+  MachinePreset preset = MachinePreset::Host;
+
+  /// Domain owning `cpu`, assuming the block-cyclic layout every preset
+  /// machine uses (consecutive CPUs fill a domain before the next).
+  std::size_t numaDomainOf(std::size_t cpu) const {
+    const std::size_t perDomain = cpusPerDomain();
+    const std::size_t domain = (cpu % numCpus) / perDomain;
+    return domain < numNumaDomains ? domain : numNumaDomains - 1;
+  }
+
+  /// CPUs per NUMA domain, rounded up so every CPU maps somewhere.
+  std::size_t cpusPerDomain() const {
+    return (numCpus + numNumaDomains - 1) / numNumaDomains;
+  }
+};
+
+/// Build a topology for `preset`.  `numCpus == 0` keeps the preset's
+/// native core count; any other value overrides it (the ATS_THREADS
+/// knob), shrinking the domain count when fewer CPUs than domains remain.
+Topology makeTopology(MachinePreset preset, std::size_t numCpus = 0);
+
+/// Lower-case preset tag used in figure headers ("host", "xeon", ...).
+const char* presetName(MachinePreset preset);
+
+}  // namespace ats

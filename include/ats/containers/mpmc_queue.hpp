@@ -1,0 +1,109 @@
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace ats {
+
+/// Bounded multi-producer/multi-consumer queue, per-cell sequence-number
+/// design (Vyukov).  Lock-free for all practical purposes: each push/pop
+/// is one CAS on the shared counter plus one cell handshake, and
+/// producers never touch consumer state.  The runtime uses it where
+/// traffic is genuinely many-to-many (e.g. the work-stealing comparison
+/// runtime); the scheduler hot path prefers SpscQueue + delegation.
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t minCapacity)
+      : capacity_(std::bit_ceil(minCapacity < 2 ? std::size_t{2}
+                                                : minCapacity)),
+        mask_(capacity_ - 1),
+        cells_(std::make_unique<Cell[]>(capacity_)) {
+    for (std::size_t i = 0; i < capacity_; ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// False when the queue is full at the instant of the attempt.
+  bool push(const T& value) { return emplace(value); }
+  bool push(T&& value) { return emplace(std::move(value)); }
+
+  /// False when the queue is empty at the instant of the attempt.
+  bool pop(T& out) {
+    std::size_t pos = dequeuePos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeuePos_.compare_exchange_weak(pos, pos + 1,
+                                              std::memory_order_relaxed)) {
+          out = std::move(cell.value);
+          // Recycle the cell for the producer one lap ahead: it expects
+          // seq == its own pos, which is exactly pos + capacity.
+          cell.seq.store(pos + capacity_, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // cell not yet filled: empty
+      } else {
+        pos = dequeuePos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Approximate under concurrency.
+  std::size_t size() const {
+    const std::size_t enq = enqueuePos_.load(std::memory_order_acquire);
+    const std::size_t deq = dequeuePos_.load(std::memory_order_acquire);
+    return enq >= deq ? enq - deq : 0;
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  template <typename U>
+  bool emplace(U&& value) {
+    std::size_t pos = enqueuePos_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::intptr_t diff =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (enqueuePos_.compare_exchange_weak(pos, pos + 1,
+                                              std::memory_order_relaxed)) {
+          cell.value = std::forward<U>(value);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // lapped: full
+      } else {
+        pos = enqueuePos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+
+  alignas(64) std::atomic<std::size_t> enqueuePos_{0};
+  alignas(64) std::atomic<std::size_t> dequeuePos_{0};
+};
+
+}  // namespace ats

@@ -1,0 +1,442 @@
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/timing.hpp"
+
+namespace ats {
+
+/// Bounded-then-yield waiter used by every spinning lock here.  A few
+/// hundred pause iterations cover the multicore case (the holder is
+/// running and will release soon); after that we yield so oversubscribed
+/// or single-core hosts — the CI box included — make forward progress
+/// instead of burning the holder's timeslice.
+class SpinWait {
+ public:
+  void spin() {
+    if (spins_ < kSpinLimit) {
+      ++spins_;
+      cpuRelax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() { spins_ = 0; }
+
+ private:
+  static constexpr int kSpinLimit = 256;
+  int spins_ = 0;
+};
+
+/// Test-and-test-and-set spinlock.  The baseline "simple" lock of §3.2:
+/// cheap uncontended, unfair and coherence-noisy when contended.
+class SpinLock {
+ public:
+  void lock() {
+    SpinWait w;
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      while (locked_.load(std::memory_order_relaxed)) w.spin();
+    }
+  }
+
+  bool tryLock() {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+/// Classic two-counter ticket lock: FIFO-fair, but every waiter spins on
+/// the single `serving_` word, so the release invalidates every waiter's
+/// cache line — the scaling cliff the PTLock's waiting array removes.
+class TicketLock {
+ public:
+  void lock() {
+    const std::uint64_t ticket =
+        next_.fetch_add(1, std::memory_order_relaxed);
+    SpinWait w;
+    while (serving_.load(std::memory_order_acquire) != ticket) w.spin();
+  }
+
+  void unlock() {
+    serving_.store(serving_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+  }
+
+ private:
+  alignas(64) std::atomic<std::uint64_t> next_{0};
+  alignas(64) std::atomic<std::uint64_t> serving_{0};
+};
+
+/// MCS queue lock: waiters link into an explicit queue and spin on their
+/// own node.  Included as the §3.2 comparison point ("PTLocks perform as
+/// well as more complex designs such as MCS").
+///
+/// The queue node lives in thread-local storage keyed per thread, not per
+/// (thread, lock) pair, so a thread may hold at most one McsLock at a
+/// time.  Fine for the scheduler and benches; do not nest two McsLocks.
+class McsLock {
+ public:
+  void lock() {
+    Node& node = localNode();
+    node.next.store(nullptr, std::memory_order_relaxed);
+    node.locked.store(true, std::memory_order_relaxed);
+    Node* prev = tail_.exchange(&node, std::memory_order_acq_rel);
+    if (prev != nullptr) {
+      prev->next.store(&node, std::memory_order_release);
+      SpinWait w;
+      while (node.locked.load(std::memory_order_acquire)) w.spin();
+    }
+  }
+
+  void unlock() {
+    Node& node = localNode();
+    Node* next = node.next.load(std::memory_order_acquire);
+    if (next == nullptr) {
+      Node* expected = &node;
+      if (tail_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+        return;
+      }
+      SpinWait w;
+      while ((next = node.next.load(std::memory_order_acquire)) == nullptr)
+        w.spin();
+    }
+    next->locked.store(false, std::memory_order_release);
+  }
+
+ private:
+  struct alignas(64) Node {
+    std::atomic<Node*> next{nullptr};
+    std::atomic<bool> locked{false};
+  };
+
+  static Node& localNode() {
+    static thread_local Node node;
+    return node;
+  }
+
+  std::atomic<Node*> tail_{nullptr};
+};
+
+/// Ticket lock augmented with a waiting array (TWA, Dice & Kogan).  Far
+/// waiters park on a hashed slot of a small array and only the threads
+/// near the front spin on `serving_`, bounding the release broadcast.
+/// Correctness rests solely on the ticket counters; the array is a
+/// wake-up hint.
+class TWALock {
+ public:
+  void lock() {
+    const std::uint64_t ticket =
+        next_.fetch_add(1, std::memory_order_relaxed);
+    SpinWait w;
+    for (;;) {
+      const std::uint64_t serving =
+          serving_.load(std::memory_order_acquire);
+      if (serving == ticket) return;
+      if (ticket - serving <= kNearThreshold) {
+        w.spin();  // close to the front: spin on serving_ directly
+      } else {
+        // Far from the front: park on the hashed array slot so releases
+        // do not broadcast to us through serving_ — that bounded
+        // invalidation set is the whole point of TWA.  The slot recheck
+        // is bounded (not unconditional) so a nudge that fired between
+        // the outer serving_ read and `seen` cannot strand us.
+        const std::uint64_t seen =
+            waitArray_[slotOf(ticket)].load(std::memory_order_acquire);
+        for (int i = 0; i < kFarSpinBound &&
+                        waitArray_[slotOf(ticket)].load(
+                            std::memory_order_acquire) == seen;
+             ++i) {
+          w.spin();
+        }
+      }
+    }
+  }
+
+  void unlock() {
+    const std::uint64_t nextServing =
+        serving_.load(std::memory_order_relaxed) + 1;
+    serving_.store(nextServing, std::memory_order_release);
+    // Nudge the slot where the soon-to-be-near waiter parks so it
+    // promotes itself to direct spinning.
+    waitArray_[slotOf(nextServing + kNearThreshold)].fetch_add(
+        1, std::memory_order_release);
+  }
+
+ private:
+  static constexpr std::uint64_t kNearThreshold = 1;
+  static constexpr int kFarSpinBound = 1024;
+  static constexpr std::size_t kSlots = 64;
+
+  static std::size_t slotOf(std::uint64_t ticket) {
+    return static_cast<std::size_t>(ticket) & (kSlots - 1);
+  }
+
+  alignas(64) std::atomic<std::uint64_t> next_{0};
+  alignas(64) std::atomic<std::uint64_t> serving_{0};
+  struct alignas(64) PaddedCounter {
+    std::atomic<std::uint64_t> v{0};
+
+    std::uint64_t load(std::memory_order o) const { return v.load(o); }
+    void fetch_add(std::uint64_t d, std::memory_order o) { v.fetch_add(d, o); }
+  };
+  PaddedCounter waitArray_[kSlots];
+};
+
+/// PTLock — the paper's ticket lock with a per-thread waiting array
+/// (§3.2).  Ticket t spins on its own padded slot `grants_[t % n]` until
+/// the previous holder writes t there, so a release touches exactly one
+/// waiter's cache line and hand-off cost stays flat as threads grow.
+/// `n` must be at least the number of threads that can contend.
+class PTLock {
+ public:
+  explicit PTLock(std::size_t maxThreads = 64)
+      : slots_(std::bit_ceil(maxThreads < 2 ? std::size_t{2} : maxThreads)),
+        mask_(slots_ - 1),
+        grants_(std::make_unique<GrantSlot[]>(slots_)) {
+    grants_[0].v.store(0, std::memory_order_relaxed);  // ticket 0 may enter
+  }
+
+  void lock() {
+    const std::uint64_t ticket =
+        next_.fetch_add(1, std::memory_order_relaxed);
+    SpinWait w;
+    while (grants_[ticket & mask_].v.load(std::memory_order_acquire) !=
+           ticket) {
+      w.spin();
+    }
+    held_ = ticket;
+  }
+
+  /// Take the next ticket only when it is already granted (lock free and
+  /// no queue).  Never joins the FIFO queue, so pollers cannot convoy
+  /// behind a preempted holder on oversubscribed hosts.
+  bool tryLock() {
+    std::uint64_t ticket = next_.load(std::memory_order_relaxed);
+    if (grants_[ticket & mask_].v.load(std::memory_order_acquire) != ticket)
+      return false;
+    if (!next_.compare_exchange_strong(ticket, ticket + 1,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+      return false;
+    }
+    held_ = ticket;
+    return true;
+  }
+
+  void unlock() {
+    const std::uint64_t nextTicket = held_ + 1;
+    grants_[nextTicket & mask_].v.store(nextTicket,
+                                        std::memory_order_release);
+  }
+
+ private:
+  struct alignas(64) GrantSlot {
+    // "No ticket granted here yet": any value whose low bits cannot
+    // collide with a live ticket for this slot.
+    std::atomic<std::uint64_t> v{~std::uint64_t{0}};
+  };
+
+  const std::size_t slots_;
+  const std::uint64_t mask_;
+  std::unique_ptr<GrantSlot[]> grants_;
+  alignas(64) std::atomic<std::uint64_t> next_{0};
+  // Ticket of the current holder.  Only ever touched by the thread that
+  // owns the lock; the grant release/acquire chain orders the hand-off.
+  std::uint64_t held_ = 0;
+};
+
+/// DTLock — the paper's Delegation Ticket Lock (§3.3, Listing 5).  A
+/// PTLock where a waiter may publish the *request* it would have executed
+/// under the lock; the current holder then performs that work on the
+/// waiter's behalf and posts the result, releasing the waiter without it
+/// ever owning the lock.  One core ends up doing the scheduler's
+/// critical-section work for everybody while the others keep their caches
+/// on application data — that is the 4x of §3.4.
+///
+/// Two acquisition modes:
+///   * `lock()` — plain FIFO acquire, for callers that must mutate state
+///     themselves (e.g. draining their own add-buffer on overflow).
+///   * `lockOrDelegate(cpu, item)` — publish "CPU `cpu` wants one item".
+///     Returns true when the caller acquired the lock after all (it must
+///     then do its own work, serve others, and unlock); false when the
+///     holder served it — `item` carries the posted result and the caller
+///     must NOT unlock.
+///
+/// Holder-side protocol between lock acquisition and `unlock()`:
+///   while (popWaiter(cpu)) serve(result-for-cpu);
+///
+/// Results travel through a slot owned by the requesting CPU, not by the
+/// ticket.  That distinction is load-bearing: a served waiter applies no
+/// back-pressure on the ticket chain (the holder moves on immediately),
+/// so a ticket-indexed result slot could be recycled and overwritten
+/// before a descheduled waiter ever looked at it.  The per-CPU slot can
+/// only be rewritten by that CPU's *next* request, which cannot exist
+/// until the waiter consumed this one.  Grant slots are written by
+/// `unlock()` alone, so they keep the array-ticket-lock invariant that
+/// every grant is consumed before the chain can lap the array.
+///
+/// Contract: `cpu` < maxCpus (16-bit), at most one concurrent
+/// lockOrDelegate per cpu id, and a served item must never equal ~0 (the
+/// internal "pending" sentinel) — task pointers never are.
+class DTLock {
+ public:
+  explicit DTLock(std::size_t maxThreads = 64, std::size_t maxCpus = 64)
+      : slots_(std::bit_ceil(maxThreads < 2 ? std::size_t{2} : maxThreads)),
+        mask_(slots_ - 1),
+        maxCpus_(maxCpus),
+        grants_(std::make_unique<GrantSlot[]>(slots_)),
+        requests_(std::make_unique<RequestSlot[]>(slots_)),
+        results_(std::make_unique<ResultSlot[]>(maxCpus)) {
+    assert(maxCpus_ >= 1 && maxCpus_ < (std::uint64_t{1} << kCpuBits));
+    grants_[0].v.store(kLockGrant(0), std::memory_order_relaxed);
+  }
+
+  /// Take the lock iff it is free and nobody is queued; never joins the
+  /// FIFO queue.  For adders that must not park a reserved ticket while
+  /// preemptible (see the scheduler overflow paths).
+  bool tryLock() { return tryAcquireFree(); }
+
+  /// Plain FIFO acquire (never delegated).
+  void lock() {
+    if (tryAcquireFree()) return;
+    const std::uint64_t ticket =
+        next_.fetch_add(1, std::memory_order_relaxed);
+    SpinWait w;
+    while (grants_[ticket & mask_].v.load(std::memory_order_acquire) !=
+           kLockGrant(ticket)) {
+      w.spin();
+    }
+    held_ = ticket;
+    served_ = 0;
+  }
+
+  /// Delegating acquire.  True: lock acquired, caller is now the server.
+  /// False: request was served; `item` holds the result.
+  bool lockOrDelegate(std::uint64_t cpu, std::uintptr_t& item) {
+    assert(cpu < maxCpus_);
+    // Free and unqueued: take the lock without publishing anything.
+    // Delegation only pays when somebody actually holds the lock; an
+    // uncontended acquire should cost what a plain lock costs.
+    if (tryAcquireFree()) return true;
+    // Arm our response slot before publishing the request; the request's
+    // release store orders the reset before any server's write.
+    results_[cpu].v.store(kPendingResult, std::memory_order_relaxed);
+    const std::uint64_t ticket =
+        next_.fetch_add(1, std::memory_order_relaxed);
+    requests_[ticket & mask_].v.store((ticket << kCpuBits) | cpu,
+                                      std::memory_order_release);
+    SpinWait w;
+    for (;;) {
+      if (grants_[ticket & mask_].v.load(std::memory_order_acquire) ==
+          kLockGrant(ticket)) {
+        held_ = ticket;
+        served_ = 0;
+        return true;
+      }
+      const std::uintptr_t r =
+          results_[cpu].v.load(std::memory_order_acquire);
+      if (r != kPendingResult) {
+        item = r;
+        return false;
+      }
+      w.spin();
+    }
+  }
+
+  /// Holder only: is the next queued waiter a published delegation
+  /// request?  If so report its CPU and keep it pending for `serve`.
+  /// Stops (returns false) at the first waiter that wants the lock
+  /// itself, or when nobody is waiting.
+  bool popWaiter(std::uint64_t& cpu) {
+    const std::uint64_t ticket = held_ + served_ + 1;
+    if (ticket == next_.load(std::memory_order_acquire)) return false;
+    const std::uint64_t req =
+        requests_[ticket & mask_].v.load(std::memory_order_acquire);
+    if ((req >> kCpuBits) != ticket) return false;  // wants the lock
+    cpu = req & ((std::uint64_t{1} << kCpuBits) - 1);
+    pendingCpu_ = cpu;
+    return true;
+  }
+
+  /// Holder only: complete the waiter `popWaiter` just reported by
+  /// posting `item` into its CPU slot.  The waiter never owns the lock.
+  void serve(std::uintptr_t item) {
+    assert(item != kPendingResult);
+    results_[pendingCpu_].v.store(item, std::memory_order_release);
+    ++served_;
+  }
+
+  /// Holder only: pass the lock to the next unserved waiter (or leave it
+  /// open for the next arrival).
+  void unlock() {
+    const std::uint64_t ticket = held_ + served_ + 1;
+    grants_[ticket & mask_].v.store(kLockGrant(ticket),
+                                    std::memory_order_release);
+  }
+
+ private:
+  static constexpr std::uint64_t kCpuBits = 16;
+  static constexpr std::uintptr_t kPendingResult = ~std::uintptr_t{0};
+
+  static constexpr std::uint64_t kLockGrant(std::uint64_t t) { return t; }
+
+  /// Take the next ticket iff it is already granted (lock free, nobody
+  /// queued ahead).  Never steals from a queued waiter: once a ticket is
+  /// outstanding, grant != next_ until the chain catches up.
+  bool tryAcquireFree() {
+    std::uint64_t ticket = next_.load(std::memory_order_relaxed);
+    if (grants_[ticket & mask_].v.load(std::memory_order_acquire) !=
+        kLockGrant(ticket)) {
+      return false;
+    }
+    if (!next_.compare_exchange_strong(ticket, ticket + 1,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed)) {
+      return false;
+    }
+    held_ = ticket;
+    served_ = 0;
+    return true;
+  }
+
+  struct alignas(64) GrantSlot {
+    std::atomic<std::uint64_t> v{~std::uint64_t{0}};
+  };
+  struct alignas(64) RequestSlot {
+    std::atomic<std::uint64_t> v{~std::uint64_t{0}};
+  };
+  struct alignas(64) ResultSlot {
+    std::atomic<std::uintptr_t> v{kPendingResult};
+  };
+
+  const std::size_t slots_;
+  const std::uint64_t mask_;
+  const std::uint64_t maxCpus_;
+  std::unique_ptr<GrantSlot[]> grants_;
+  std::unique_ptr<RequestSlot[]> requests_;
+  std::unique_ptr<ResultSlot[]> results_;
+  alignas(64) std::atomic<std::uint64_t> next_{0};
+  // Holder-owned bookkeeping, ordered across hand-offs by the grant
+  // release/acquire chain.
+  std::uint64_t held_ = 0;
+  std::uint64_t served_ = 0;
+  std::uint64_t pendingCpu_ = 0;
+};
+
+}  // namespace ats

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+
+#include "common/topology.hpp"
+
+namespace ats {
+
+/// Which scheduler design the runtime instantiates (fig_common's curves).
+enum class SchedulerKind {
+  CentralMutex,    ///< one OS mutex (serial-insertion / GOMP-like base)
+  PTLockCentral,   ///< PTLock-protected central queue ("w/o DTLock")
+  SyncDelegation,  ///< SPSC add-buffers + DTLock delegation (the paper's)
+  WorkStealing,    ///< per-thread deques + stealing (LLVM-family stand-in)
+};
+
+/// Which dependency subsystem the runtime uses (§2).
+enum class DepsKind {
+  FineGrainedLocks,  ///< the legacy lock-per-object implementation
+  WaitFreeAsm,       ///< the paper's wait-free Atomic State Machine
+};
+
+/// Everything a Runtime needs to construct itself.  The fig benches build
+/// these through the factory functions below, one per curve.
+struct RuntimeConfig {
+  Topology topo;
+  SchedulerKind scheduler = SchedulerKind::SyncDelegation;
+  DepsKind deps = DepsKind::WaitFreeAsm;
+
+  /// Thread-caching pool allocator for task descriptors (§4's jemalloc
+  /// role); false = plain system malloc.
+  bool usePoolAllocator = true;
+
+  /// Slots in each per-CPU SPSC add-buffer (SyncDelegation only).
+  std::size_t addBufferCapacity = 256;
+
+  /// Instrumentation backend (§5); off by default, fig10/fig11 enable it.
+  bool enableTracing = false;
+};
+
+/// Fully optimized runtime — every paper technique on ("nanos6" curve).
+RuntimeConfig optimizedConfig(const Topology& topo);
+
+/// Ablations of Figures 4-6: one technique off at a time.
+RuntimeConfig withoutJemallocConfig(const Topology& topo);
+RuntimeConfig withoutWaitFreeDepsConfig(const Topology& topo);
+RuntimeConfig withoutDTLockConfig(const Topology& topo);
+
+/// Architectural stand-ins of Figures 7-9.
+RuntimeConfig centralMutexRuntimeConfig(const Topology& topo);
+RuntimeConfig workStealingRuntimeConfig(const Topology& topo);
+
+}  // namespace ats

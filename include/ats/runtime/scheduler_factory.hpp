@@ -1,0 +1,17 @@
+#pragma once
+
+#include <memory>
+
+#include "runtime/runtime_config.hpp"
+#include "sched/scheduler.hpp"
+
+namespace ats {
+
+/// Build the scheduler a RuntimeConfig asks for.  Lives in the runtime
+/// layer (not sched) because RuntimeConfig does: layers below must not
+/// include upward.  WorkStealing maps to the delegation scheduler until
+/// the work-stealing runtime lands (the fig7-9 stand-in needs the full
+/// Runtime anyway).
+std::unique_ptr<Scheduler> makeScheduler(const RuntimeConfig& config);
+
+}  // namespace ats

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+namespace ats {
+
+/// Minimal task descriptor the scheduler layer traffics in.  The
+/// dependency subsystem (wait-free ASM, later PR) and the body/closure
+/// representation will grow here; the schedulers only ever move `Task*`
+/// around, so they are insulated from that growth.
+struct Task {
+  /// Body entry point; null for the placeholder tasks benches enqueue.
+  void (*body)(void* arg) = nullptr;
+  void* arg = nullptr;
+
+  /// NUMA domain hint for affinity-aware policies (0 = don't care).
+  std::uint32_t numaHint = 0;
+
+  /// Higher runs earlier under priority-aware policies.
+  std::uint32_t priority = 0;
+
+  void run() {
+    if (body != nullptr) body(arg);
+  }
+};
+
+}  // namespace ats

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "containers/spsc_queue.hpp"
+#include "sched/scheduler.hpp"
+
+namespace ats {
+
+struct Task;
+
+/// The per-CPU wait-free add-buffer front end (§3.1) shared by every
+/// scheduler that decouples adds from the central lock.  CPU i is the
+/// single producer of buffer i; whichever thread holds the scheduler's
+/// lock is the (serialized) consumer of all of them, so the dtlock and
+/// ptlock designs drain identical structures and their comparison
+/// isolates the lock protocol alone.
+class AddBufferSet {
+ public:
+  AddBufferSet(std::size_t numCpus, std::size_t capacity) {
+    buffers_.reserve(numCpus);
+    for (std::size_t cpu = 0; cpu < numCpus; ++cpu) {
+      buffers_.push_back(std::make_unique<SpscQueue<Task*>>(capacity));
+    }
+  }
+
+  std::size_t numCpus() const { return buffers_.size(); }
+
+  /// Wait-free; false when cpu's buffer is full (caller runs the
+  /// overflow drain protocol under the lock).
+  bool tryPush(Task* task, std::size_t cpu) {
+    return buffers_[cpu]->push(task);
+  }
+
+  /// Move every published add into the policy, crediting each task to
+  /// the CPU that enqueued it.  Caller must hold the scheduler's lock.
+  void drainInto(SchedulerPolicy& policy) {
+    for (std::size_t cpu = 0; cpu < buffers_.size(); ++cpu) {
+      buffers_[cpu]->consumeAll(
+          [&](Task* task) { policy.addTask(task, cpu); });
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<SpscQueue<Task*>>> buffers_;
+};
+
+}  // namespace ats

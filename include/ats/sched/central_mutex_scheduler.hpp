@@ -1,0 +1,32 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "common/topology.hpp"
+#include "sched/scheduler.hpp"
+
+namespace ats {
+
+/// The paper's "serial insertion" baseline and the architectural stand-in
+/// for GOMP-style runtimes: one OS mutex in front of one ready queue.
+/// Every add and every get serializes through the kernel futex path.
+/// Runs the same SchedulerPolicy as the other designs so benchmarks
+/// compare synchronization substrates, not queue implementations.
+class CentralMutexScheduler final : public Scheduler {
+ public:
+  explicit CentralMutexScheduler(
+      Topology topo, std::unique_ptr<SchedulerPolicy> policy = nullptr);
+
+  void addReadyTask(Task* task, std::size_t cpu) override;
+  Task* getReadyTask(std::size_t cpu) override;
+
+  const char* name() const override { return "central_mutex"; }
+
+ private:
+  Topology topo_;
+  std::mutex mutex_;
+  std::unique_ptr<SchedulerPolicy> policy_;
+};
+
+}  // namespace ats

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+namespace ats {
+
+struct Task;
+
+/// The synchronized scheduler surface the runtime's worker loop talks to.
+/// `cpu` is the caller's logical CPU index within the runtime's Topology;
+/// implementations may use it for SPSC buffer selection or NUMA affinity.
+/// `getReadyTask` is non-blocking: nullptr means "nothing ready now".
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual void addReadyTask(Task* task, std::size_t cpu) = 0;
+  virtual Task* getReadyTask(std::size_t cpu) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// An *unsynchronized* ready-queue policy.  The paper's point in §3.2 is
+/// that once the DTLock serializes access, the policy inside can be
+/// written as plain single-threaded code and swapped freely (FIFO, LIFO,
+/// NUMA-aware...).  Callers guarantee mutual exclusion.
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+
+  virtual void addTask(Task* task, std::size_t cpu) = 0;
+  virtual Task* getTask(std::size_t cpu) = 0;
+
+  virtual const char* policyName() const = 0;
+};
+
+/// Global FIFO ready queue — the default policy for every scheduler
+/// design in this repo until the NUMA-aware policies land.
+class FifoScheduler final : public SchedulerPolicy {
+ public:
+  void addTask(Task* task, std::size_t /*cpu*/) override {
+    ready_.push_back(task);
+  }
+
+  Task* getTask(std::size_t /*cpu*/) override {
+    if (ready_.empty()) return nullptr;
+    Task* task = ready_.front();
+    ready_.pop_front();
+    return task;
+  }
+
+  const char* policyName() const override { return "fifo"; }
+
+ private:
+  std::deque<Task*> ready_;
+};
+
+}  // namespace ats

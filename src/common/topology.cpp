@@ -1,0 +1,61 @@
+#include "common/topology.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace ats {
+
+namespace {
+
+Topology presetShape(MachinePreset preset) {
+  Topology t;
+  t.preset = preset;
+  switch (preset) {
+    case MachinePreset::Xeon:
+      t.numCpus = 48;
+      t.numNumaDomains = 2;
+      break;
+    case MachinePreset::Rome:
+      t.numCpus = 128;
+      t.numNumaDomains = 8;
+      break;
+    case MachinePreset::Graviton:
+      t.numCpus = 64;
+      t.numNumaDomains = 1;
+      break;
+    case MachinePreset::Host: {
+      const unsigned hw = std::thread::hardware_concurrency();
+      t.numCpus = hw > 0 ? hw : 1;
+      t.numNumaDomains = 1;
+      break;
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+Topology makeTopology(MachinePreset preset, std::size_t numCpus) {
+  Topology t = presetShape(preset);
+  if (numCpus > 0) {
+    t.numCpus = numCpus;
+    t.numNumaDomains = std::min(t.numNumaDomains, t.numCpus);
+  }
+  return t;
+}
+
+const char* presetName(MachinePreset preset) {
+  switch (preset) {
+    case MachinePreset::Host:
+      return "host";
+    case MachinePreset::Xeon:
+      return "xeon";
+    case MachinePreset::Rome:
+      return "rome";
+    case MachinePreset::Graviton:
+      return "graviton";
+  }
+  return "unknown";
+}
+
+}  // namespace ats

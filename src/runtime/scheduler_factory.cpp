@@ -1,0 +1,25 @@
+#include "runtime/scheduler_factory.hpp"
+
+#include "sched/central_mutex_scheduler.hpp"
+#include "sched/ptlock_scheduler.hpp"
+#include "sched/sync_scheduler.hpp"
+
+namespace ats {
+
+std::unique_ptr<Scheduler> makeScheduler(const RuntimeConfig& config) {
+  switch (config.scheduler) {
+    case SchedulerKind::CentralMutex:
+      return std::make_unique<CentralMutexScheduler>(config.topo);
+    case SchedulerKind::PTLockCentral:
+      return std::make_unique<PTLockScheduler>(
+          config.topo, std::make_unique<FifoScheduler>());
+    case SchedulerKind::SyncDelegation:
+    case SchedulerKind::WorkStealing:
+      return std::make_unique<SyncScheduler>(config.topo,
+                                             std::make_unique<FifoScheduler>(),
+                                             config.addBufferCapacity);
+  }
+  return nullptr;
+}
+
+}  // namespace ats

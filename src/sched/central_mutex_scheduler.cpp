@@ -1,0 +1,26 @@
+#include "sched/central_mutex_scheduler.hpp"
+
+#include <utility>
+
+namespace ats {
+
+CentralMutexScheduler::CentralMutexScheduler(
+    Topology topo, std::unique_ptr<SchedulerPolicy> policy)
+    : topo_(std::move(topo)),
+      policy_(policy != nullptr ? std::move(policy)
+                                : std::make_unique<FifoScheduler>()) {}
+
+void CentralMutexScheduler::addReadyTask(Task* task, std::size_t cpu) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  policy_->addTask(task, cpu);
+}
+
+Task* CentralMutexScheduler::getReadyTask(std::size_t cpu) {
+  // Same non-blocking get contract as every scheduler here: a busy lock
+  // reads as "nothing ready yet" and the worker polls again.
+  std::unique_lock<std::mutex> guard(mutex_, std::try_to_lock);
+  if (!guard.owns_lock()) return nullptr;
+  return policy_->getTask(cpu);
+}
+
+}  // namespace ats

@@ -1,0 +1,51 @@
+#include "sched/ptlock_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ats {
+
+PTLockScheduler::PTLockScheduler(Topology topo,
+                                 std::unique_ptr<SchedulerPolicy> policy,
+                                 std::size_t addBufferCapacity)
+    // Waiting-array slots must cover every thread that can contend; size
+    // for at least the topology and leave headroom for oversubscription.
+    : topo_(std::move(topo)),
+      lock_(std::max<std::size_t>(64, topo_.numCpus * 2)),
+      policy_(std::move(policy)),
+      addBuffers_(topo_.numCpus, addBufferCapacity) {}
+
+void PTLockScheduler::addReadyTask(Task* task, std::size_t cpu) {
+  assert(cpu < addBuffers_.numCpus());
+  // Buffer full: bid for the lock to drain it ourselves, but keep
+  // retrying the wait-free push meanwhile — the current holder's drain
+  // frees space, so whichever unblocks first wins.  Adds must not drop,
+  // and they must not park a reserved ticket in the FIFO queue either
+  // (a preempted adder's queued ticket would lock every poller out for
+  // whole timeslices on a timeshared host).
+  SpinWait w;
+  while (!addBuffers_.tryPush(task, cpu)) {
+    if (lock_.tryLock()) {
+      addBuffers_.drainInto(*policy_);
+      policy_->addTask(task, cpu);
+      lock_.unlock();
+      return;
+    }
+    w.spin();
+  }
+}
+
+Task* PTLockScheduler::getReadyTask(std::size_t cpu) {
+  // Non-blocking poll, per the Scheduler contract: a failed tryLock is
+  // externally indistinguishable from an empty queue.  Without
+  // delegation this is the best a waiter can do — walk away and retry —
+  // and that wasted poll is precisely the cost the DTLock removes.
+  if (!lock_.tryLock()) return nullptr;
+  addBuffers_.drainInto(*policy_);
+  Task* task = policy_->getTask(cpu);
+  lock_.unlock();
+  return task;
+}
+
+}  // namespace ats

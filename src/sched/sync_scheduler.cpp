@@ -1,0 +1,65 @@
+#include "sched/sync_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ats {
+
+SyncScheduler::SyncScheduler(Topology topo,
+                             std::unique_ptr<SchedulerPolicy> policy,
+                             std::size_t addBufferCapacity)
+    : topo_(std::move(topo)),
+      lock_(std::max<std::size_t>(64, topo_.numCpus * 2),
+            std::max<std::size_t>(64, topo_.numCpus)),
+      policy_(std::move(policy)),
+      addBuffers_(topo_.numCpus, addBufferCapacity) {}
+
+void SyncScheduler::addReadyTask(Task* task, std::size_t cpu) {
+  assert(cpu < addBuffers_.numCpus());
+  if (addBuffers_.tryPush(task, cpu)) return;
+
+  // Overflow protocol: join the FIFO queue and become the server for a
+  // moment — drain everything, then answer queued getReadyTask
+  // delegations.  Unlike the PTLock scheduler, queueing a ticket here is
+  // safe AND useful: getters that pile up behind a queued adder land in
+  // the delegation queue and are retired in one combined burst when the
+  // adder enters, instead of each needing its own lock hand-off.
+  lock_.lock();
+  addBuffers_.drainInto(*policy_);
+  policy_->addTask(task, cpu);
+  serveWaiters();
+  lock_.unlock();
+}
+
+Task* SyncScheduler::getReadyTask(std::size_t cpu) {
+  assert(cpu < addBuffers_.numCpus());
+  std::uintptr_t item = 0;
+  if (!lock_.lockOrDelegate(cpu, item)) {
+    return reinterpret_cast<Task*>(item);  // served by the lock holder
+  }
+  addBuffers_.drainInto(*policy_);
+  Task* task = policy_->getTask(cpu);
+  serveWaiters();
+  lock_.unlock();
+  return task;
+}
+
+void SyncScheduler::serveWaiters() {
+  // Each thread has at most one outstanding request, but a served waiter
+  // can requeue while we still hold the lock; cap the combining burst so
+  // the holder's own latency stays bounded.
+  const std::size_t maxServes = 4 * topo_.numCpus + 4;
+  std::uint64_t waiterCpu = 0;
+  for (std::size_t n = 0; n < maxServes && lock_.popWaiter(waiterCpu); ++n) {
+    Task* task = policy_->getTask(static_cast<std::size_t>(waiterCpu));
+    if (task == nullptr) {
+      // Refill before answering "nothing ready".
+      addBuffers_.drainInto(*policy_);
+      task = policy_->getTask(static_cast<std::size_t>(waiterCpu));
+    }
+    lock_.serve(reinterpret_cast<std::uintptr_t>(task));
+  }
+}
+
+}  // namespace ats

@@ -1,0 +1,62 @@
+#include "common/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace ats {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { unsetenv("ATS_TEST_KNOB"); }
+
+  static void set(const char* v) { setenv("ATS_TEST_KNOB", v, 1); }
+};
+
+TEST_F(EnvTest, FlagUnsetIsFalse) {
+  unsetenv("ATS_TEST_KNOB");
+  EXPECT_FALSE(envFlag("ATS_TEST_KNOB"));
+}
+
+TEST_F(EnvTest, FlagRecognizesOffSpellings) {
+  for (const char* off : {"", "0", "false", "off", "no"}) {
+    set(off);
+    EXPECT_FALSE(envFlag("ATS_TEST_KNOB")) << "value: '" << off << "'";
+  }
+  for (const char* on : {"1", "true", "on", "yes", "anything"}) {
+    set(on);
+    EXPECT_TRUE(envFlag("ATS_TEST_KNOB")) << "value: '" << on << "'";
+  }
+}
+
+TEST_F(EnvTest, SizeParsesDecimalAndFallsBackOnGarbage) {
+  unsetenv("ATS_TEST_KNOB");
+  EXPECT_EQ(envSize("ATS_TEST_KNOB", 7), 7u);
+  set("48");
+  EXPECT_EQ(envSize("ATS_TEST_KNOB", 7), 48u);
+  set("0");
+  EXPECT_EQ(envSize("ATS_TEST_KNOB", 7), 0u);
+  set("12abc");
+  EXPECT_EQ(envSize("ATS_TEST_KNOB", 7), 7u);
+  set("notanumber");
+  EXPECT_EQ(envSize("ATS_TEST_KNOB", 7), 7u);
+  // strtoull would happily wrap these to huge values; the contract says
+  // fallback.
+  set("-1");
+  EXPECT_EQ(envSize("ATS_TEST_KNOB", 7), 7u);
+  set("+4");
+  EXPECT_EQ(envSize("ATS_TEST_KNOB", 7), 7u);
+  set("99999999999999999999999999");  // out of range
+  EXPECT_EQ(envSize("ATS_TEST_KNOB", 7), 7u);
+}
+
+TEST_F(EnvTest, StringFallsBackWhenUnset) {
+  unsetenv("ATS_TEST_KNOB");
+  EXPECT_EQ(envString("ATS_TEST_KNOB", "dflt"), "dflt");
+  set("trace_dir");
+  EXPECT_EQ(envString("ATS_TEST_KNOB", "dflt"), "trace_dir");
+}
+
+}  // namespace
+}  // namespace ats

@@ -1,0 +1,45 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ats {
+namespace {
+
+TEST(RunningStats, EmptyIsAllZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, KnownSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum of squared deviations is 32.
+  EXPECT_DOUBLE_EQ(s.variance(), 32.0 / 7.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, ShiftInvarianceUnderLargeOffsets) {
+  // Welford's point: a huge common offset must not destroy the variance.
+  RunningStats s;
+  for (double x : {1e9 + 4, 1e9 + 7, 1e9 + 13, 1e9 + 16}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 1e9 + 10);
+  EXPECT_NEAR(s.variance(), 30.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ats

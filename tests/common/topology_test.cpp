@@ -1,0 +1,59 @@
+#include "common/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ats {
+namespace {
+
+TEST(Topology, PresetShapesMatchThePaperMachines) {
+  const Topology xeon = makeTopology(MachinePreset::Xeon);
+  EXPECT_EQ(xeon.numCpus, 48u);
+  EXPECT_EQ(xeon.numNumaDomains, 2u);
+
+  const Topology rome = makeTopology(MachinePreset::Rome);
+  EXPECT_EQ(rome.numCpus, 128u);
+  EXPECT_EQ(rome.numNumaDomains, 8u);
+
+  const Topology graviton = makeTopology(MachinePreset::Graviton);
+  EXPECT_EQ(graviton.numCpus, 64u);
+  EXPECT_EQ(graviton.numNumaDomains, 1u);
+}
+
+TEST(Topology, HostPresetHasAtLeastOneCpu) {
+  const Topology host = makeTopology(MachinePreset::Host);
+  EXPECT_GE(host.numCpus, 1u);
+  EXPECT_GE(host.numNumaDomains, 1u);
+}
+
+TEST(Topology, CpuCountOverrideShrinksDomainsWhenNeeded) {
+  const Topology t = makeTopology(MachinePreset::Rome, 4);
+  EXPECT_EQ(t.numCpus, 4u);
+  EXPECT_LE(t.numNumaDomains, 4u);
+
+  const Topology one = makeTopology(MachinePreset::Xeon, 1);
+  EXPECT_EQ(one.numCpus, 1u);
+  EXPECT_EQ(one.numNumaDomains, 1u);
+}
+
+TEST(Topology, NumaDomainMappingCoversEveryCpu) {
+  const Topology rome = makeTopology(MachinePreset::Rome);
+  // Block layout: first CPUs land in domain 0, last in the top domain,
+  // and every CPU maps to a valid domain.
+  EXPECT_EQ(rome.numaDomainOf(0), 0u);
+  EXPECT_EQ(rome.numaDomainOf(rome.numCpus - 1), rome.numNumaDomains - 1);
+  for (std::size_t cpu = 0; cpu < rome.numCpus; ++cpu) {
+    EXPECT_LT(rome.numaDomainOf(cpu), rome.numNumaDomains);
+  }
+  // Domains are balanced for the even preset shapes.
+  EXPECT_EQ(rome.cpusPerDomain(), 16u);
+}
+
+TEST(Topology, PresetNames) {
+  EXPECT_STREQ(presetName(MachinePreset::Host), "host");
+  EXPECT_STREQ(presetName(MachinePreset::Xeon), "xeon");
+  EXPECT_STREQ(presetName(MachinePreset::Rome), "rome");
+  EXPECT_STREQ(presetName(MachinePreset::Graviton), "graviton");
+}
+
+}  // namespace
+}  // namespace ats

@@ -1,0 +1,84 @@
+#include "containers/mpmc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace ats {
+namespace {
+
+TEST(MpmcQueue, SingleThreadFifo) {
+  MpmcQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(q.push(i));
+  EXPECT_FALSE(q.push(99));  // full
+  for (int i = 0; i < 8; ++i) {
+    int v = -1;
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, i);
+  }
+  int v = -1;
+  EXPECT_FALSE(q.pop(v));  // empty
+}
+
+TEST(MpmcQueue, WrapAroundManyLaps) {
+  MpmcQueue<int> q(4);
+  int next = 0;
+  int expected = 0;
+  for (int lap = 0; lap < 100; ++lap) {
+    ASSERT_TRUE(q.push(next++));
+    ASSERT_TRUE(q.push(next++));
+    int v = -1;
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, expected++);
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, expected++);
+  }
+}
+
+TEST(MpmcQueue, MultiProducerMultiConsumerConservesSum) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr std::uint64_t kPerProducer = 10000;
+  MpmcQueue<std::uint64_t> q(256);
+
+  std::atomic<std::uint64_t> popped{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::vector<std::thread> threads;
+
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t value =
+            static_cast<std::uint64_t>(p) * kPerProducer + i + 1;
+        while (!q.push(value)) std::this_thread::yield();
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      const std::uint64_t total = kProducers * kPerProducer;
+      while (popped.load(std::memory_order_relaxed) < total) {
+        std::uint64_t v = 0;
+        if (q.pop(v)) {
+          sum.fetch_add(v, std::memory_order_relaxed);
+          popped.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const std::uint64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n + 1) / 2);
+  std::uint64_t v = 0;
+  EXPECT_FALSE(q.pop(v));
+}
+
+}  // namespace
+}  // namespace ats

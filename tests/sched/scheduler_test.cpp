@@ -1,0 +1,160 @@
+#include "runtime/scheduler_factory.hpp"
+#include "sched/central_mutex_scheduler.hpp"
+#include "sched/ptlock_scheduler.hpp"
+#include "sched/sync_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/task.hpp"
+
+namespace ats {
+namespace {
+
+Topology testTopo(std::size_t cpus) {
+  return makeTopology(MachinePreset::Host, cpus);
+}
+
+std::unique_ptr<Scheduler> makeByName(const std::string& which,
+                                      std::size_t cpus,
+                                      std::size_t addBufferCapacity = 256) {
+  const Topology topo = testTopo(cpus);
+  if (which == "central_mutex")
+    return std::make_unique<CentralMutexScheduler>(topo);
+  if (which == "ptlock")
+    return std::make_unique<PTLockScheduler>(
+        topo, std::make_unique<FifoScheduler>());
+  return std::make_unique<SyncScheduler>(topo,
+                                         std::make_unique<FifoScheduler>(),
+                                         addBufferCapacity);
+}
+
+class EverySchedulerTest : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(Designs, EverySchedulerTest,
+                         ::testing::Values("central_mutex", "ptlock",
+                                           "sync_dtlock"));
+
+TEST_P(EverySchedulerTest, EmptySchedulerReturnsNull) {
+  auto sched = makeByName(GetParam(), 4);
+  EXPECT_EQ(sched->getReadyTask(0), nullptr);
+  EXPECT_EQ(sched->getReadyTask(3), nullptr);
+}
+
+TEST_P(EverySchedulerTest, SingleThreadFifoRoundTrip) {
+  auto sched = makeByName(GetParam(), 4);
+  std::vector<Task> pool(100);
+  for (auto& t : pool) sched->addReadyTask(&t, 0);
+  for (auto& t : pool) {
+    // A single producer's adds must come back in insertion order under
+    // the FIFO policy, whichever CPU asks.
+    EXPECT_EQ(sched->getReadyTask(1), &t);
+  }
+  EXPECT_EQ(sched->getReadyTask(1), nullptr);
+}
+
+/// One producer, three consumers: every enqueued task pointer must come
+/// back exactly once — the conservation law the micro_dtlock flood
+/// assumes.  Runs the exact thread shape of the bench.
+TEST_P(EverySchedulerTest, FloodConservesTasksExactlyOnce) {
+  constexpr std::size_t kTasks = 20000;
+  constexpr int kConsumers = 3;
+  auto sched = makeByName(GetParam(), kConsumers + 1);
+  std::vector<Task> pool(kTasks);
+
+  std::atomic<std::size_t> retrieved{0};
+  std::vector<std::vector<Task*>> got(kConsumers);
+
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {
+    for (auto& t : pool) sched->addReadyTask(&t, 0);
+  });
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&, c] {
+      const std::size_t cpu = static_cast<std::size_t>(c) + 1;
+      while (retrieved.load(std::memory_order_relaxed) < kTasks) {
+        Task* t = sched->getReadyTask(cpu);
+        if (t != nullptr) {
+          got[static_cast<std::size_t>(c)].push_back(t);
+          retrieved.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<Task*> all;
+  for (const auto& v : got) all.insert(all.end(), v.begin(), v.end());
+  ASSERT_EQ(all.size(), kTasks);
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    ASSERT_EQ(all[i], &pool[i]) << "a task was lost or handed out twice";
+  }
+  EXPECT_EQ(sched->getReadyTask(0), nullptr);
+}
+
+TEST(SyncSchedulerTest, OverflowDrainLosesNothingAndKeepsOrder) {
+  // Buffer of 8 while 1000 tasks pour in from one thread with no
+  // consumer: the overflow help-drain path runs ~125 times.
+  auto sched = std::make_unique<SyncScheduler>(
+      testTopo(2), std::make_unique<FifoScheduler>(), 8);
+  std::vector<Task> pool(1000);
+  for (auto& t : pool) sched->addReadyTask(&t, 0);
+  for (auto& t : pool) {
+    ASSERT_EQ(sched->getReadyTask(1), &t);
+  }
+  EXPECT_EQ(sched->getReadyTask(1), nullptr);
+}
+
+TEST(SyncSchedulerTest, PerCpuBuffersDrainFromAnyGetter) {
+  auto sched = std::make_unique<SyncScheduler>(
+      testTopo(4), std::make_unique<FifoScheduler>(), 64);
+  std::vector<Task> pool(8);
+  // Adds from several different CPUs sit in distinct SPSC buffers...
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    sched->addReadyTask(&pool[i], i % 4);
+  }
+  // ...and one getter on yet another CPU sees all of them.
+  std::vector<Task*> got;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    Task* t = sched->getReadyTask(3);
+    ASSERT_NE(t, nullptr);
+    got.push_back(t);
+  }
+  EXPECT_EQ(sched->getReadyTask(3), nullptr);
+  std::sort(got.begin(), got.end());
+  for (std::size_t i = 0; i < pool.size(); ++i) EXPECT_EQ(got[i], &pool[i]);
+}
+
+TEST(SchedulerFactoryTest, BuildsTheConfiguredDesign) {
+  const Topology topo = testTopo(4);
+  EXPECT_STREQ(makeScheduler(centralMutexRuntimeConfig(topo))->name(),
+               "central_mutex");
+  EXPECT_STREQ(makeScheduler(withoutDTLockConfig(topo))->name(),
+               "ptlock_central");
+  EXPECT_STREQ(makeScheduler(optimizedConfig(topo))->name(), "sync_dtlock");
+  // Work stealing maps onto the delegation scheduler until its runtime
+  // lands.
+  EXPECT_STREQ(makeScheduler(workStealingRuntimeConfig(topo))->name(),
+               "sync_dtlock");
+}
+
+TEST(FifoSchedulerTest, PolicyIsPlainFifo) {
+  FifoScheduler fifo;
+  std::vector<Task> pool(5);
+  EXPECT_EQ(fifo.getTask(0), nullptr);
+  for (auto& t : pool) fifo.addTask(&t, 0);
+  for (auto& t : pool) EXPECT_EQ(fifo.getTask(2), &t);
+  EXPECT_EQ(fifo.getTask(0), nullptr);
+  EXPECT_STREQ(fifo.policyName(), "fifo");
+}
+
+}  // namespace
+}  // namespace ats
