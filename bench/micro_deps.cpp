@@ -65,32 +65,32 @@ void depsFanBatch(benchmark::State& state, DepsKind kind) {
   state.SetItemsProcessed(state.iterations() * (kBatch / 20) * 20);
 }
 
-void BM_Deps_WaitFree_Chains(benchmark::State& s) {
-  depsChainBatch(s, DepsKind::WaitFree);
+void BM_Deps_WaitFreeAsm_Chains(benchmark::State& s) {
+  depsChainBatch(s, DepsKind::WaitFreeAsm);
 }
-void BM_Deps_Locked_Chains(benchmark::State& s) {
-  depsChainBatch(s, DepsKind::Locked);
+void BM_Deps_FineGrainedLocks_Chains(benchmark::State& s) {
+  depsChainBatch(s, DepsKind::FineGrainedLocks);
 }
-void BM_Deps_WaitFree_Independent(benchmark::State& s) {
-  depsIndependentBatch(s, DepsKind::WaitFree);
+void BM_Deps_WaitFreeAsm_Independent(benchmark::State& s) {
+  depsIndependentBatch(s, DepsKind::WaitFreeAsm);
 }
-void BM_Deps_Locked_Independent(benchmark::State& s) {
-  depsIndependentBatch(s, DepsKind::Locked);
+void BM_Deps_FineGrainedLocks_Independent(benchmark::State& s) {
+  depsIndependentBatch(s, DepsKind::FineGrainedLocks);
 }
-void BM_Deps_WaitFree_ReadFan(benchmark::State& s) {
-  depsFanBatch(s, DepsKind::WaitFree);
+void BM_Deps_WaitFreeAsm_ReadFan(benchmark::State& s) {
+  depsFanBatch(s, DepsKind::WaitFreeAsm);
 }
-void BM_Deps_Locked_ReadFan(benchmark::State& s) {
-  depsFanBatch(s, DepsKind::Locked);
+void BM_Deps_FineGrainedLocks_ReadFan(benchmark::State& s) {
+  depsFanBatch(s, DepsKind::FineGrainedLocks);
 }
 
 }  // namespace
 
-BENCHMARK(BM_Deps_WaitFree_Chains)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Deps_Locked_Chains)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Deps_WaitFree_Independent)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Deps_Locked_Independent)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Deps_WaitFree_ReadFan)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Deps_Locked_ReadFan)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Deps_WaitFreeAsm_Chains)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Deps_FineGrainedLocks_Chains)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Deps_WaitFreeAsm_Independent)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Deps_FineGrainedLocks_Independent)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Deps_WaitFreeAsm_ReadFan)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Deps_FineGrainedLocks_ReadFan)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

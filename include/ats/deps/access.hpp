@@ -1,0 +1,41 @@
+#pragma once
+
+namespace ats {
+
+/// The three OmpSs/OpenMP access modes a task can declare on an object.
+/// Dependency-wise Out and InOut are identical (both order against every
+/// other access); the distinction is kept because the apps layer will
+/// want it for array-region accesses later.
+enum class AccessMode : unsigned char {
+  In,     ///< read — concurrent with other reads, after the last write
+  Out,    ///< write — exclusive
+  InOut,  ///< read-modify-write — exclusive
+};
+
+/// One declared access: the address identifies the dependency object
+/// (byte-granularity, like the `in(x)` clauses of the paper's listings).
+struct Access {
+  void* object;
+  AccessMode mode;
+
+  bool isRead() const { return mode == AccessMode::In; }
+};
+
+/// Clause builders so spawn sites read like the pragmas they reproduce:
+/// `rt.spawn({in(x), inout(y)}, [&]{ ... })`.
+template <typename T>
+Access in(T& object) {
+  return Access{&object, AccessMode::In};
+}
+
+template <typename T>
+Access out(T& object) {
+  return Access{&object, AccessMode::Out};
+}
+
+template <typename T>
+Access inout(T& object) {
+  return Access{&object, AccessMode::InOut};
+}
+
+}  // namespace ats

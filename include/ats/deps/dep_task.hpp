@@ -1,0 +1,95 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace ats {
+
+struct DepTask;
+
+/// The readers between two writes on one object (or before the first
+/// write: the object's root group).  The next write "closes" the group
+/// by adding `kClosedBias` plus the attached-reader count, and parks
+/// itself in `closingWrite`; whoever moves `pending` to exactly
+/// `kClosedBias` last-reader-out resolves that write's group
+/// precondition.  Embedded in every write access node, so a group lives
+/// exactly as long as the task that owns the preceding write.
+///
+/// Readers contribute to `pending` two ways: one fetch_add at
+/// registration when they resolved themselves (no write to attach to, or
+/// it already completed), or — for readers attached to the preceding
+/// write's list — a plain `attachedRegistrations` increment that the
+/// closing write folds into its bias add.  Registration on one object is
+/// serialized (the sibling-task rule), so the plain field never races;
+/// this is what keeps an attached reader's registration at a single RMW.
+/// Every reader fetch_subs 1 at completion, so `pending` may go negative
+/// (down to -attachedRegistrations) before the close.
+struct ReadGroup {
+  static constexpr std::int64_t kClosedBias = std::int64_t{1} << 32;
+
+  std::atomic<std::int64_t> pending{0};
+  std::atomic<struct AccessNode*> closingWrite{nullptr};
+  std::int64_t attachedRegistrations = 0;
+};
+
+/// One registered access in an object's dependency chain.  The wait-free
+/// ASM drives the atomic `state`/`successor` fields; the fine-grained
+/// locking fallback uses the `prevQ`/`nextQ` intrusive queue links under
+/// its per-object lock.  Both embed their per-access bookkeeping here so
+/// release never allocates or looks anything up.
+struct AccessNode {
+  /// Wait-free ASM packed state word for writes: two low flag bits plus
+  /// the head of the pending-reader list in the pointer bits, so one
+  /// fetch_or of kCompleted at release atomically (a) marks the write
+  /// done, (b) closes and collects the reader list, and (c) reports
+  /// whether a successor write is linked.
+  static constexpr std::uintptr_t kCompleted = 1;     ///< owner finished
+  static constexpr std::uintptr_t kHasSuccessor = 2;  ///< write linked
+  static constexpr std::uintptr_t kFlagMask = kCompleted | kHasSuccessor;
+
+  DepTask* task = nullptr;
+  void* object = nullptr;
+  bool read = false;
+
+  std::atomic<std::uintptr_t> state{0};
+
+  /// Writes: the single successor write waiting on our completion.
+  std::atomic<AccessNode*> successor{nullptr};
+
+  /// Reads: our link in the predecessor write's packed reader list.
+  AccessNode* nextReader = nullptr;
+
+  /// Reads: the group this access counted itself into at registration.
+  ReadGroup* joinedGroup = nullptr;
+
+  /// Writes: the group for readers registered after this access.
+  ReadGroup succGroup;
+
+  /// Fine-grained-locks implementation: per-object FIFO queue links and
+  /// the entry the node was queued in, all guarded by that object's lock.
+  AccessNode* prevQ = nullptr;
+  AccessNode* nextQ = nullptr;
+  void* homeEntry = nullptr;
+  bool queueSatisfied = false;
+};
+
+/// Per-task accesses are fixed-capacity so a task descriptor is one flat
+/// allocation (the §4 pool-allocator PR depends on that).
+inline constexpr std::size_t kMaxAccessesPerTask = 8;
+
+/// The dependency-facing part of a task descriptor.  `runtime/task.hpp`'s
+/// Task derives from this; the deps layer only ever sees DepTask*, which
+/// keeps it below the runtime layer in the include order.
+struct DepTask {
+  /// Unresolved preconditions + one creation guard.  Reads contribute one
+  /// precondition (their chain edge); writes contribute two (chain edge +
+  /// read-group drain).  The task is handed to the ready sink by whoever
+  /// moves this to zero.
+  std::atomic<std::int32_t> pendingDeps{0};
+
+  std::size_t numAccesses = 0;
+  AccessNode accesses[kMaxAccessesPerTask];
+};
+
+}  // namespace ats

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "deps/access.hpp"
+#include "deps/dep_task.hpp"
+
+namespace ats {
+
+/// Which dependency subsystem the runtime uses (§2).  Declared here (not
+/// in runtime_config.hpp) so the deps layer can key its factory off it;
+/// the runtime layer re-exports it by including this header.
+enum class DepsKind {
+  FineGrainedLocks,  ///< the legacy lock-per-object implementation
+  WaitFreeAsm,       ///< the paper's wait-free Atomic State Machine
+};
+
+/// Where tasks go once their last dependency resolves.  `cpu` is the
+/// logical CPU slot of the thread on which the resolution happened, so
+/// the runtime can route the task into that CPU's add-buffer.
+struct ReadySink {
+  void (*fn)(void* ctx, DepTask* task, std::size_t cpu) = nullptr;
+  void* ctx = nullptr;
+
+  void ready(DepTask* task, std::size_t cpu) const { fn(ctx, task, cpu); }
+};
+
+/// The §2 dependency subsystem contract both implementations meet.
+///
+/// Concurrency model (the OmpSs sibling-task rule the paper's runtime
+/// also relies on): registrations for a given object are serialized —
+/// sibling tasks are created in program order by their creator thread —
+/// while releases run concurrently with everything, from whichever worker
+/// finishes a predecessor.  Register/release races on one object are
+/// exactly what the wait-free ASM's transitions arbitrate.
+class DependencySystem {
+ public:
+  explicit DependencySystem(ReadySink sink) : sink_(sink) {}
+  virtual ~DependencySystem() = default;
+
+  /// Register `task`'s declared accesses and arm its pendingDeps counter.
+  /// Calls the ready sink (possibly before returning, possibly from
+  /// another thread's release) exactly once, when the last precondition
+  /// resolves.  A task must not declare the same object twice.
+  virtual void registerTask(DepTask* task, const Access* accesses,
+                            std::size_t count, std::size_t cpu) = 0;
+
+  /// Release every access of a completed task, resolving successor
+  /// preconditions; newly-ready tasks surface through the sink with the
+  /// caller's `cpu`.  Called exactly once per task, after its body ran.
+  virtual void release(DepTask* task, std::size_t cpu) = 0;
+
+  /// Quiescent-state cleanup: forget all chains so task descriptors can
+  /// be recycled.  Caller guarantees no task is in flight and no
+  /// registration is concurrent (the runtime calls this from taskwait).
+  virtual void reset() = 0;
+
+  virtual const char* name() const = 0;
+
+ protected:
+  /// One precondition of `task` resolved; ready it on reaching zero.
+  /// pendingDeps counts outstanding preconditions, one of which is the
+  /// caller's; observing 1 therefore means the caller owns the last and
+  /// nobody else can touch the counter — skip the RMW.  The acquire
+  /// syncs with the acq_rel chain of earlier resolvers, so the readied
+  /// body still sees every predecessor's effects.
+  void resolveOne(DepTask* task, std::size_t cpu) {
+    if (task->pendingDeps.load(std::memory_order_acquire) == 1) {
+      task->pendingDeps.store(0, std::memory_order_relaxed);
+      sink_.ready(task, cpu);
+    } else if (task->pendingDeps.fetch_sub(
+                   1, std::memory_order_acq_rel) == 1) {
+      sink_.ready(task, cpu);
+    }
+  }
+
+  /// Drop the creation guard plus the `resolved` preconditions that
+  /// registration handled itself, readying the task if that was
+  /// everything.  When registration resolved every precondition, no
+  /// other thread holds a reference, so the counter is not touched at
+  /// all.
+  void finishRegistration(DepTask* task, std::int32_t preconditions,
+                          std::int32_t resolved, std::size_t cpu) {
+    const std::int32_t drop = 1 + resolved;
+    if (drop == preconditions) {
+      sink_.ready(task, cpu);
+    } else if (task->pendingDeps.fetch_sub(
+                   drop, std::memory_order_acq_rel) == drop) {
+      sink_.ready(task, cpu);
+    }
+  }
+
+  ReadySink sink_;
+};
+
+std::unique_ptr<DependencySystem> makeDependencySystem(DepsKind kind,
+                                                       ReadySink sink);
+
+}  // namespace ats

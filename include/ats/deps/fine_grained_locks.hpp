@@ -1,0 +1,43 @@
+#pragma once
+
+#include "deps/dependency_system.hpp"
+#include "deps/object_table.hpp"
+
+namespace ats {
+
+/// The legacy lock-per-object dependency system the paper's ASM replaced
+/// (§2's baseline).  Each object keeps a FIFO queue of its uncompleted
+/// accesses behind a spinlock; registration appends and tests
+/// eligibility, completion unlinks and rescans the head for newly
+/// eligible accesses.  Eligibility is the same semantics the ASM
+/// implements: a read runs when no write is queued ahead of it, a write
+/// runs when it is alone at the head.
+///
+/// The comparison against WaitFreeAsmDeps is honest by construction: both
+/// traffic in the same AccessNode fields, the same sharded object table,
+/// and the same pendingDeps/ready-sink protocol — the only thing that
+/// differs is lock-and-scan versus wait-free state transitions.
+class FineGrainedLocksDeps final : public DependencySystem {
+ public:
+  explicit FineGrainedLocksDeps(ReadySink sink)
+      : DependencySystem(sink) {}
+
+  void registerTask(DepTask* task, const Access* accesses,
+                    std::size_t count, std::size_t cpu) override;
+  void release(DepTask* task, std::size_t cpu) override;
+  void reset() override;
+
+  const char* name() const override { return "fine_grained_locks"; }
+
+ private:
+  struct ObjectLocked {
+    SpinLock lock;
+    AccessNode* head = nullptr;
+    AccessNode* tail = nullptr;
+    std::size_t queuedWrites = 0;
+  };
+
+  ObjectTable<ObjectLocked> objects_;
+};
+
+}  // namespace ats

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "locks/locks.hpp"
+
+namespace ats {
+
+/// Address -> per-object dependency state, sharded so registrations from
+/// different spawners on different objects do not serialize on one lock.
+/// Lookups happen only on the registration path; release never touches
+/// the table (every access node carries direct pointers to what it must
+/// poke), which is where the wait-free claim for release lives.
+///
+/// Entries are created on first use and live for the table's lifetime —
+/// the dependency systems' reset() clears entry *fields* at quiescence
+/// but deliberately keeps the allocations warm for reused addresses.
+/// A workload that touches an unbounded stream of fresh addresses
+/// therefore grows the table monotonically; quiescent compaction is a
+/// ROADMAP item for the apps layer.
+template <typename Entry>
+class ObjectTable {
+ public:
+  Entry& lookupOrCreate(void* object) {
+    Shard& shard = shards_[shardOf(object)];
+    std::lock_guard<SpinLock> guard(shard.lock);
+    std::unique_ptr<Entry>& slot = shard.map[object];
+    if (!slot) slot = std::make_unique<Entry>();
+    return *slot;
+  }
+
+  /// Visit every entry.  Only called at quiescence (taskwait reset), but
+  /// takes the shard locks anyway so a misuse shows up as contention, not
+  /// corruption.
+  template <typename Fn>
+  void forEach(Fn&& fn) {
+    for (Shard& shard : shards_) {
+      std::lock_guard<SpinLock> guard(shard.lock);
+      for (auto& [object, entry] : shard.map) fn(*entry);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kShards = 64;
+
+  static std::size_t shardOf(void* object) {
+    auto bits = reinterpret_cast<std::uintptr_t>(object);
+    // Mix the middle bits: heap addresses share their low (alignment) and
+    // high (region) bits.
+    return static_cast<std::size_t>((bits >> 4) ^ (bits >> 12)) %
+           kShards;
+  }
+
+  struct Shard {
+    SpinLock lock;
+    std::unordered_map<void*, std::unique_ptr<Entry>> map;
+  };
+
+  Shard shards_[kShards];
+};
+
+}  // namespace ats

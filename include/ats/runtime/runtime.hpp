@@ -1,0 +1,127 @@
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "deps/access.hpp"
+#include "deps/dependency_system.hpp"
+#include "locks/locks.hpp"
+#include "runtime/runtime_config.hpp"
+#include "runtime/scheduler_factory.hpp"
+#include "runtime/task.hpp"
+
+namespace ats {
+
+/// The tasking runtime the paper benchmarks: worker threads (one per
+/// Topology CPU, pinned when the host has the cores for it) pulling from
+/// the configured scheduler, the configured §2 dependency subsystem in
+/// front, and `spawn`/`taskwait` on top.
+///
+///   Runtime rt(optimizedConfig(makeTopology(MachinePreset::Host, 4)));
+///   rt.spawn({inout(x)}, [&x] { ++x; });
+///   rt.taskwait();
+///
+/// Threading contract (the OmpSs model the §2 ASM assumes):
+///   * spawn may be called from the owning "spawner" thread and from task
+///     bodies; accesses to the SAME object must be registered by one
+///     thread at a time (sibling tasks are created in program order).
+///   * taskwait is spawner-only (a task body calling it would wait on
+///     itself).  While waiting, the spawner helps execute ready tasks
+///     through its own reserved CPU slot — the scheduler is built with
+///     numCpus + 1 slots so the spawner is a first-class SPSC producer
+///     and DTLock delegator without ever colliding with a worker's slot.
+///   * completed descriptors are recycled at the next taskwait, not at
+///     completion, so successor chains never chase a reused access node.
+class Runtime {
+ public:
+  explicit Runtime(RuntimeConfig config);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Spawn a task whose body is any callable; captures up to
+  /// Task::kInlineClosureBytes live inline in the descriptor, larger ones
+  /// on the heap.  Returns as soon as the accesses are registered — the
+  /// body runs when its dependencies resolve, on whatever worker gets it.
+  template <typename Fn>
+  void spawn(std::initializer_list<Access> accesses, Fn&& fn) {
+    Task* task = allocateTask();
+    installClosure(task, std::forward<Fn>(fn));
+    submit(task, accesses.begin(), accesses.size());
+  }
+
+  /// Raw function-pointer spawn for callers that manage their own state.
+  void spawn(std::initializer_list<Access> accesses, void (*fn)(void*),
+             void* arg);
+
+  /// Wait until every spawned task has completed, helping execute ready
+  /// tasks meanwhile, then recycle descriptors and dependency chains.
+  void taskwait();
+
+  const RuntimeConfig& config() const { return config_; }
+  Scheduler& scheduler() { return *sched_; }
+  DependencySystem& deps() { return *deps_; }
+
+  /// Logical CPU slot of the calling thread: a worker's own slot, or the
+  /// reserved spawner slot for any non-worker thread.
+  std::size_t callerCpu() const;
+
+ private:
+  template <typename Fn>
+  void installClosure(Task* task, Fn&& fn) {
+    using F = std::decay_t<Fn>;
+    if constexpr (sizeof(F) <= Task::kInlineClosureBytes &&
+                  alignof(F) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(task->closureBuf))
+          F(std::forward<Fn>(fn));
+      task->invoker = [](Task& t) {
+        (*std::launder(reinterpret_cast<F*>(t.closureBuf)))();
+      };
+      task->closureDestroy = [](Task& t) {
+        std::launder(reinterpret_cast<F*>(t.closureBuf))->~F();
+      };
+    } else {
+      task->arg = new F(std::forward<Fn>(fn));
+      task->invoker = [](Task& t) { (*static_cast<F*>(t.arg))(); };
+      task->closureDestroy = [](Task& t) {
+        delete static_cast<F*>(t.arg);
+        t.arg = nullptr;
+      };
+    }
+  }
+
+  Task* allocateTask();
+  void submit(Task* task, const Access* accesses, std::size_t count);
+  void workerLoop(std::size_t cpu);
+  void complete(Task* task);
+  void quiesce();
+
+  static void completeThunk(Task& task);
+  static void readyThunk(void* ctx, DepTask* task, std::size_t cpu);
+
+  RuntimeConfig config_;
+  std::size_t spawnerCpu_;
+  std::unique_ptr<DependencySystem> deps_;
+  std::unique_ptr<Scheduler> sched_;
+
+  std::atomic<std::size_t> inFlight_{0};
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> workers_;
+
+  // Descriptor pool: slab-owned, recycled at quiescent points.
+  SpinLock poolLock_;
+  std::vector<std::unique_ptr<Task>> slab_;
+  std::vector<Task*> freeTasks_;
+  std::vector<Task*> liveTasks_;
+};
+
+}  // namespace ats

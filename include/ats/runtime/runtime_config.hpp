@@ -3,6 +3,7 @@
 #include <cstddef>
 
 #include "common/topology.hpp"
+#include "deps/dependency_system.hpp"  // DepsKind lives in the deps layer
 
 namespace ats {
 
@@ -12,12 +13,6 @@ enum class SchedulerKind {
   PTLockCentral,   ///< PTLock-protected central queue ("w/o DTLock")
   SyncDelegation,  ///< SPSC add-buffers + DTLock delegation (the paper's)
   WorkStealing,    ///< per-thread deques + stealing (LLVM-family stand-in)
-};
-
-/// Which dependency subsystem the runtime uses (§2).
-enum class DepsKind {
-  FineGrainedLocks,  ///< the legacy lock-per-object implementation
-  WaitFreeAsm,       ///< the paper's wait-free Atomic State Machine
 };
 
 /// Everything a Runtime needs to construct itself.  The fig benches build

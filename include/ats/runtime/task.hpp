@@ -1,15 +1,24 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "deps/dep_task.hpp"
 
 namespace ats {
 
-/// Minimal task descriptor the scheduler layer traffics in.  The
-/// dependency subsystem (wait-free ASM, later PR) and the body/closure
-/// representation will grow here; the schedulers only ever move `Task*`
-/// around, so they are insulated from that growth.
-struct Task {
-  /// Body entry point; null for the placeholder tasks benches enqueue.
+/// Task descriptor.  The schedulers only ever move `Task*` around; the
+/// dependency subsystem sees the DepTask base; the runtime owns the
+/// closure and completion machinery on top.
+///
+/// A task body is either a raw function pointer (`body`/`arg` — what the
+/// scheduler benches use) or a type-erased closure installed by
+/// `Runtime::spawn` into `closureBuf` (or the heap when it does not fit),
+/// invoked through `invoker`.
+struct Task : DepTask {
+  /// Raw body entry point (used when no closure is installed).
   void (*body)(void* arg) = nullptr;
   void* arg = nullptr;
 
@@ -19,8 +28,43 @@ struct Task {
   /// Higher runs earlier under priority-aware policies.
   std::uint32_t priority = 0;
 
+  /// Inline closure storage; capture sets larger than this spill to the
+  /// heap (Runtime::installClosure decides and sets the destroyer).
+  static constexpr std::size_t kInlineClosureBytes = 48;
+  alignas(alignof(std::max_align_t)) unsigned char
+      closureBuf[kInlineClosureBytes];
+  void (*invoker)(Task& task) = nullptr;
+  void (*closureDestroy)(Task& task) = nullptr;
+
+  /// Completion hook installed by the owning Runtime at spawn.
+  void (*onComplete)(Task& task) = nullptr;
+  void* runtime = nullptr;
+
+  /// Execute the task to completion:
+  ///
+  ///   1. run the body exactly once (closure if installed, else the raw
+  ///      function pointer);
+  ///   2. run the completion hook, which destroys the closure, releases
+  ///      the task's dependency accesses — readying successors into the
+  ///      scheduler — and recycles the descriptor (the runtime defers the
+  ///      actual reuse to the next quiescent point, so in-flight
+  ///      successor chains never see a recycled access node).
+  ///
+  /// A task with neither closure nor raw body is a misconfigured bench or
+  /// runtime bug; that used to no-op silently, now it fails loudly.
   void run() {
-    if (body != nullptr) body(arg);
+    if (invoker != nullptr) {
+      invoker(*this);
+    } else if (body != nullptr) {
+      body(arg);
+    } else {
+      std::fprintf(stderr,
+                   "ats::Task::run(): task %p has neither a closure nor a "
+                   "raw body — misconfigured bench or spawn path\n",
+                   static_cast<void*>(this));
+      std::abort();
+    }
+    if (onComplete != nullptr) onComplete(*this);
   }
 };
 

@@ -1,0 +1,19 @@
+#include "deps/dependency_system.hpp"
+
+#include "deps/fine_grained_locks.hpp"
+#include "deps/waitfree_asm.hpp"
+
+namespace ats {
+
+std::unique_ptr<DependencySystem> makeDependencySystem(DepsKind kind,
+                                                       ReadySink sink) {
+  switch (kind) {
+    case DepsKind::FineGrainedLocks:
+      return std::make_unique<FineGrainedLocksDeps>(sink);
+    case DepsKind::WaitFreeAsm:
+      return std::make_unique<WaitFreeAsmDeps>(sink);
+  }
+  return nullptr;
+}
+
+}  // namespace ats

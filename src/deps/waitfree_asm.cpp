@@ -1,0 +1,196 @@
+#include "deps/waitfree_asm.hpp"
+
+#include <cassert>
+
+namespace ats {
+
+namespace {
+
+AccessNode* readerListOf(std::uintptr_t state) {
+  return reinterpret_cast<AccessNode*>(state & ~AccessNode::kFlagMask);
+}
+
+std::uintptr_t packReader(AccessNode* reader, std::uintptr_t flags) {
+  return reinterpret_cast<std::uintptr_t>(reader) |
+         (flags & AccessNode::kFlagMask);
+}
+
+}  // namespace
+
+void WaitFreeAsmDeps::registerTask(DepTask* task, const Access* accesses,
+                                   std::size_t count, std::size_t cpu) {
+  assert(count <= kMaxAccessesPerTask);
+#ifndef NDEBUG
+  for (std::size_t i = 0; i < count; ++i)
+    for (std::size_t j = i + 1; j < count; ++j)
+      assert(accesses[i].object != accesses[j].object &&
+             "a task must not declare the same object twice");
+#endif
+
+  std::int32_t preconditions = 1;  // creation guard
+  for (std::size_t i = 0; i < count; ++i)
+    preconditions += accesses[i].isRead() ? 1 : 2;
+  task->pendingDeps.store(preconditions, std::memory_order_relaxed);
+  task->numAccesses = count;
+
+  // Preconditions that resolve during registration are batched into the
+  // guard drop below: one fetch_sub instead of one per resolution.
+  std::int32_t resolved = 0;
+
+  for (std::size_t i = 0; i < count; ++i) {
+    AccessNode* node = &task->accesses[i];
+    node->task = task;
+    node->object = accesses[i].object;
+    node->read = accesses[i].isRead();
+
+    ObjectAsm& obj = objects_.lookupOrCreate(node->object);
+    if (node->read) {
+      resolved += registerRead(obj, node);
+    } else {
+      resolved += registerWrite(obj, node);
+    }
+  }
+
+  finishRegistration(task, preconditions, resolved, cpu);
+}
+
+std::int32_t WaitFreeAsmDeps::registerRead(ObjectAsm& obj,
+                                           AccessNode* node) {
+  AccessNode* write = obj.lastWrite;
+  ReadGroup* group =
+      write != nullptr ? &write->succGroup : &obj.rootGroup;
+  node->joinedGroup = group;
+
+  if (write != nullptr) {
+    // Attach to the predecessor write's packed reader list.  CAS success
+    // hands our resolution to the write's completion fetch_or; the
+    // group membership rides the plain attached counter, folded in by
+    // the closing write.  Observing kCompleted instead means the write
+    // already released — resolve ourselves (the acquire is what makes
+    // the writer's side effects visible to this reader's body).  The
+    // only contender is that single completion RMW, so the loop runs at
+    // most twice in practice.
+    std::uintptr_t state = write->state.load(std::memory_order_acquire);
+    while ((state & AccessNode::kCompleted) == 0) {
+      node->nextReader = readerListOf(state);
+      if (write->state.compare_exchange_weak(
+              state, packReader(node, state), std::memory_order_release,
+              std::memory_order_acquire)) {
+        ++group->attachedRegistrations;
+        return 0;
+      }
+    }
+  }
+
+  // Self-resolved: count ourselves into the group directly.  Relaxed:
+  // the increment publishes nothing; the close's fetch_add and the
+  // drain's fetch_sub carry the ordering.
+  group->pending.fetch_add(1, std::memory_order_relaxed);
+  return 1;
+}
+
+std::int32_t WaitFreeAsmDeps::registerWrite(ObjectAsm& obj,
+                                            AccessNode* node) {
+  node->state.store(0, std::memory_order_relaxed);
+  node->successor.store(nullptr, std::memory_order_relaxed);
+  node->succGroup.pending.store(0, std::memory_order_relaxed);
+  node->succGroup.closingWrite.store(nullptr, std::memory_order_relaxed);
+  node->succGroup.attachedRegistrations = 0;
+
+  std::int32_t resolved = 0;
+  AccessNode* prev = obj.lastWrite;
+
+  // Read-group precondition.  Group membership is `pending` plus the
+  // attached readers only this (serialized) registration path knows
+  // about; outstanding readers = pending + attached, so the drained
+  // check compares against -attached.
+  ReadGroup* group =
+      prev != nullptr ? &prev->succGroup : &obj.rootGroup;
+  const std::int64_t attached = group->attachedRegistrations;
+  if (group->pending.load(std::memory_order_acquire) == -attached) {
+    // Every reader that ever joined this group already completed (their
+    // memberships are ordered before this serialized registration, and
+    // the count only drains from there).  The counter is dead — skip
+    // the close entirely.  Acquire: reading the fully-drained value
+    // synchronizes with the readers' release fetch_subs, so this
+    // write's body is ordered after every reader's body even though no
+    // RMW happens on this path.
+    ++resolved;
+  } else {
+    // Close the group, folding the attached readers into the bias.  The
+    // park-then-bias order matters: a reader that observes the bias
+    // through the counter's RMW chain also sees `closingWrite`.
+    group->closingWrite.store(node, std::memory_order_release);
+    const std::int64_t beforeClose =
+        group->pending.fetch_add(ReadGroup::kClosedBias + attached,
+                                 std::memory_order_acq_rel);
+    if (beforeClose == -attached) ++resolved;
+  }
+
+  // Write-chain precondition.
+  if (prev == nullptr) {
+    ++resolved;
+  } else {
+    prev->successor.store(node, std::memory_order_release);
+    const std::uintptr_t prevState =
+        prev->state.fetch_or(AccessNode::kHasSuccessor,
+                             std::memory_order_acq_rel);
+    if (prevState & AccessNode::kCompleted) ++resolved;
+  }
+
+  obj.lastWrite = node;
+  return resolved;
+}
+
+void WaitFreeAsmDeps::release(DepTask* task, std::size_t cpu) {
+  for (std::size_t i = 0; i < task->numAccesses; ++i) {
+    AccessNode* node = &task->accesses[i];
+    if (node->read) {
+      // Drain our group so the write that closed it can go.
+      ReadGroup* group = node->joinedGroup;
+      const std::int64_t remaining =
+          group->pending.fetch_sub(1, std::memory_order_acq_rel) - 1;
+      if (remaining == ReadGroup::kClosedBias) {
+        AccessNode* write =
+            group->closingWrite.load(std::memory_order_acquire);
+        resolveOne(write->task, cpu);
+      }
+    } else {
+      // One RMW completes the write: it closes the reader list (any
+      // reader CAS from here on sees kCompleted and resolves itself),
+      // collects everyone already attached, and reports the successor.
+      const std::uintptr_t state =
+          node->state.fetch_or(AccessNode::kCompleted,
+                               std::memory_order_acq_rel);
+      // The CAS chain is LIFO — reverse it so readers go ready in
+      // registration order (FIFO fairness, like the locked baseline).
+      AccessNode* reader = readerListOf(state);
+      AccessNode* ordered = nullptr;
+      while (reader != nullptr) {
+        AccessNode* next = reader->nextReader;
+        reader->nextReader = ordered;
+        ordered = reader;
+        reader = next;
+      }
+      for (; ordered != nullptr; ordered = ordered->nextReader) {
+        resolveOne(ordered->task, cpu);
+      }
+      if (state & AccessNode::kHasSuccessor) {
+        AccessNode* succ =
+            node->successor.load(std::memory_order_acquire);
+        resolveOne(succ->task, cpu);
+      }
+    }
+  }
+}
+
+void WaitFreeAsmDeps::reset() {
+  objects_.forEach([](ObjectAsm& obj) {
+    obj.lastWrite = nullptr;
+    obj.rootGroup.pending.store(0, std::memory_order_relaxed);
+    obj.rootGroup.closingWrite.store(nullptr, std::memory_order_relaxed);
+    obj.rootGroup.attachedRegistrations = 0;
+  });
+}
+
+}  // namespace ats

@@ -1,0 +1,196 @@
+#include "runtime/runtime.hpp"
+
+#include <chrono>
+#include <mutex>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace ats {
+
+namespace {
+
+constexpr std::size_t kNoCpu = static_cast<std::size_t>(-1);
+
+/// Worker threads stamp their slot here; any thread without a stamp is
+/// treated as the spawner.  Thread-local (not per-Runtime) is fine: a
+/// thread works for at most one runtime at a time, and worker threads die
+/// with their runtime.
+thread_local std::size_t tlsCpu = kNoCpu;
+
+/// Pin a worker to its topology CPU.  Only attempted when the host
+/// actually has a core per worker — pinning an oversubscribed runtime
+/// (CI boxes) just fences threads onto one another.  Failure (cpuset
+/// restrictions, non-Linux) is silently tolerated: affinity is a
+/// performance hint, never a correctness requirement.
+void pinWorker(std::size_t cpu, std::size_t numWorkers) {
+#if defined(__linux__)
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0 || hw < numWorkers) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(cpu % hw), &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)cpu;
+  (void)numWorkers;
+#endif
+}
+
+}  // namespace
+
+Runtime::Runtime(RuntimeConfig config) : config_(std::move(config)) {
+  // The scheduler gets one slot per worker plus the reserved spawner
+  // slot, so every thread that touches it is a distinct SPSC producer
+  // and DTLock delegator.
+  spawnerCpu_ = config_.topo.numCpus;
+  RuntimeConfig schedConfig = config_;
+  schedConfig.topo.numCpus = config_.topo.numCpus + 1;
+  sched_ = makeScheduler(schedConfig);
+  deps_ = makeDependencySystem(config_.deps, ReadySink{&readyThunk, this});
+
+  workers_.reserve(config_.topo.numCpus);
+  for (std::size_t cpu = 0; cpu < config_.topo.numCpus; ++cpu) {
+    workers_.emplace_back([this, cpu] { workerLoop(cpu); });
+  }
+}
+
+Runtime::~Runtime() {
+  taskwait();
+  stop_.store(true, std::memory_order_release);
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t Runtime::callerCpu() const {
+  return tlsCpu == kNoCpu ? spawnerCpu_ : tlsCpu;
+}
+
+void Runtime::spawn(std::initializer_list<Access> accesses,
+                    void (*fn)(void*), void* arg) {
+  Task* task = allocateTask();
+  task->body = fn;
+  task->arg = arg;
+  submit(task, accesses.begin(), accesses.size());
+}
+
+Task* Runtime::allocateTask() {
+  std::lock_guard<SpinLock> guard(poolLock_);
+  Task* task;
+  if (!freeTasks_.empty()) {
+    task = freeTasks_.back();
+    freeTasks_.pop_back();
+  } else {
+    slab_.push_back(std::make_unique<Task>());
+    task = slab_.back().get();
+  }
+  liveTasks_.push_back(task);
+  return task;
+}
+
+void Runtime::submit(Task* task, const Access* accesses, std::size_t count) {
+  // Checked in release builds too: overflowing the fixed access array
+  // would silently corrupt the descriptor, and this layer's contract is
+  // that misconfigured spawns fail loudly.
+  if (count > kMaxAccessesPerTask) {
+    std::fprintf(stderr,
+                 "ats::Runtime::spawn(): task declares %zu accesses, the "
+                 "descriptor holds at most %zu\n",
+                 count, kMaxAccessesPerTask);
+    std::abort();
+  }
+  task->runtime = this;
+  task->onComplete = &completeThunk;
+  // Count the task in before registering: the sink can hand it to a
+  // worker that runs and completes it before registerTask even returns.
+  inFlight_.fetch_add(1, std::memory_order_relaxed);
+  deps_->registerTask(task, accesses, count, callerCpu());
+}
+
+void Runtime::completeThunk(Task& task) {
+  static_cast<Runtime*>(task.runtime)->complete(&task);
+}
+
+void Runtime::complete(Task* task) {
+  if (task->closureDestroy != nullptr) {
+    task->closureDestroy(*task);
+    task->closureDestroy = nullptr;
+    task->invoker = nullptr;
+  }
+  deps_->release(task, callerCpu());
+  // Release order: the taskwait'er acquiring inFlight_ == 0 must see
+  // every body's side effects.
+  inFlight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void Runtime::readyThunk(void* ctx, DepTask* task, std::size_t cpu) {
+  Runtime* self = static_cast<Runtime*>(ctx);
+  self->sched_->addReadyTask(static_cast<Task*>(task), cpu);
+}
+
+void Runtime::workerLoop(std::size_t cpu) {
+  tlsCpu = cpu;
+  pinWorker(cpu, config_.topo.numCpus);
+  SpinWait waiter;
+  std::size_t idleStreak = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    Task* task = sched_->getReadyTask(cpu);
+    if (task != nullptr) {
+      waiter.reset();
+      idleStreak = 0;
+      task->run();
+    } else {
+      waiter.spin();
+      // Long-idle workers back off to a short sleep so oversubscribed
+      // hosts (single-core CI) spend their timeslices on the threads
+      // that still have work.
+      if (++idleStreak > 4096) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  }
+  tlsCpu = kNoCpu;
+}
+
+void Runtime::taskwait() {
+  // Checked in release builds too: a task body calling taskwait would
+  // wait on its own completion (guaranteed hang) while sharing the
+  // reserved spawner slot with the real spawner — fail loudly instead.
+  if (callerCpu() != spawnerCpu_) {
+    std::fprintf(stderr,
+                 "ats::Runtime::taskwait(): called from inside a task "
+                 "(worker slot %zu) — a task waiting on itself can never "
+                 "finish\n",
+                 callerCpu());
+    std::abort();
+  }
+  const std::size_t cpu = spawnerCpu_;
+  SpinWait waiter;
+  while (inFlight_.load(std::memory_order_acquire) != 0) {
+    Task* task = sched_->getReadyTask(cpu);
+    if (task != nullptr) {
+      waiter.reset();
+      task->run();
+    } else {
+      waiter.spin();
+    }
+  }
+  quiesce();
+}
+
+void Runtime::quiesce() {
+  deps_->reset();
+  std::lock_guard<SpinLock> guard(poolLock_);
+  for (Task* task : liveTasks_) {
+    task->body = nullptr;
+    task->arg = nullptr;
+    task->invoker = nullptr;
+    task->closureDestroy = nullptr;
+    task->onComplete = nullptr;
+    freeTasks_.push_back(task);
+  }
+  liveTasks_.clear();
+}
+
+}  // namespace ats

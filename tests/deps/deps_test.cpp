@@ -1,0 +1,187 @@
+#include "deps/dependency_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ats {
+namespace {
+
+/// Records every ready callback so tests can assert both order and the
+/// exactly-once contract.
+struct SinkRecorder {
+  std::vector<DepTask*> order;
+  std::map<DepTask*, int> counts;
+
+  static void onReady(void* ctx, DepTask* task, std::size_t /*cpu*/) {
+    auto* self = static_cast<SinkRecorder*>(ctx);
+    self->order.push_back(task);
+    self->counts[task] += 1;
+  }
+
+  ReadySink sink() { return ReadySink{&SinkRecorder::onReady, this}; }
+
+  bool ready(DepTask* task) const { return counts.count(task) != 0; }
+};
+
+/// Single-threaded driver: registrations and releases issued in program
+/// order, so every test assertion is about the protocol's bookkeeping,
+/// not about races (the runtime tests cover those under TSan).
+class EveryDepsSystemTest : public ::testing::TestWithParam<DepsKind> {
+ protected:
+  void SetUp() override {
+    deps_ = makeDependencySystem(GetParam(), rec_.sink());
+    ASSERT_NE(deps_, nullptr);
+  }
+
+  void reg(DepTask& task, std::initializer_list<Access> accesses) {
+    deps_->registerTask(&task, accesses.begin(), accesses.size(), 0);
+  }
+
+  SinkRecorder rec_;
+  std::unique_ptr<DependencySystem> deps_;
+};
+
+INSTANTIATE_TEST_SUITE_P(Kinds, EveryDepsSystemTest,
+                         ::testing::Values(DepsKind::WaitFreeAsm,
+                                           DepsKind::FineGrainedLocks),
+                         [](const auto& info) {
+                           return info.param == DepsKind::WaitFreeAsm
+                                      ? std::string("WaitFreeAsm")
+                                      : std::string("FineGrainedLocks");
+                         });
+
+TEST_P(EveryDepsSystemTest, NoAccessesReadyImmediately) {
+  DepTask task;
+  reg(task, {});
+  EXPECT_EQ(rec_.order, std::vector<DepTask*>{&task});
+  deps_->release(&task, 0);
+  EXPECT_EQ(rec_.counts[&task], 1);
+}
+
+TEST_P(EveryDepsSystemTest, WriteChainReadiesInOrderExactlyOnce) {
+  long long x = 0;
+  DepTask t0, t1, t2;
+  reg(t0, {inout(x)});
+  reg(t1, {inout(x)});
+  reg(t2, {inout(x)});
+  ASSERT_EQ(rec_.order, std::vector<DepTask*>{&t0});
+
+  deps_->release(&t0, 0);
+  ASSERT_EQ(rec_.order, (std::vector<DepTask*>{&t0, &t1}));
+  deps_->release(&t1, 0);
+  ASSERT_EQ(rec_.order, (std::vector<DepTask*>{&t0, &t1, &t2}));
+  deps_->release(&t2, 0);
+
+  for (DepTask* t : {&t0, &t1, &t2}) EXPECT_EQ(rec_.counts[t], 1);
+}
+
+TEST_P(EveryDepsSystemTest, WriteAfterWriteWithNoInterveningReads) {
+  // Exercises the write's chain edge alone: the predecessor's read group
+  // is empty, so only the predecessor's completion may ready t1.
+  long long x = 0;
+  DepTask t0, t1;
+  reg(t0, {out(x)});
+  reg(t1, {out(x)});
+  EXPECT_FALSE(rec_.ready(&t1));
+  deps_->release(&t0, 0);
+  EXPECT_TRUE(rec_.ready(&t1));
+  EXPECT_EQ(rec_.counts[&t1], 1);
+}
+
+TEST_P(EveryDepsSystemTest, ReadersRunTogetherWriterWaitsForAll) {
+  long long x = 0;
+  DepTask writer1, r0, r1, r2, writer2;
+  reg(writer1, {inout(x)});
+  reg(r0, {in(x)});
+  reg(r1, {in(x)});
+  reg(r2, {in(x)});
+  reg(writer2, {inout(x)});
+  // Only the first writer may run.
+  EXPECT_EQ(rec_.order, std::vector<DepTask*>{&writer1});
+
+  // Its completion releases the whole read group at once...
+  deps_->release(&writer1, 0);
+  EXPECT_EQ(rec_.order,
+            (std::vector<DepTask*>{&writer1, &r0, &r1, &r2}));
+
+  // ...and the second writer needs every reader, not just the last.
+  deps_->release(&r0, 0);
+  deps_->release(&r2, 0);
+  EXPECT_FALSE(rec_.ready(&writer2));
+  deps_->release(&r1, 0);
+  EXPECT_TRUE(rec_.ready(&writer2));
+  deps_->release(&writer2, 0);
+
+  for (DepTask* t : {&writer1, &r0, &r1, &r2, &writer2})
+    EXPECT_EQ(rec_.counts[t], 1);
+}
+
+TEST_P(EveryDepsSystemTest, ReadsBeforeAnyWriteReadyImmediately) {
+  long long x = 0;
+  DepTask r0, r1, writer;
+  reg(r0, {in(x)});
+  reg(r1, {in(x)});
+  EXPECT_EQ(rec_.order, (std::vector<DepTask*>{&r0, &r1}));
+  reg(writer, {out(x)});
+  EXPECT_FALSE(rec_.ready(&writer));
+  deps_->release(&r0, 0);
+  deps_->release(&r1, 0);
+  EXPECT_TRUE(rec_.ready(&writer));
+  deps_->release(&writer, 0);
+}
+
+TEST_P(EveryDepsSystemTest, IndependentObjectsDoNotInterfere) {
+  long long x = 0, y = 0;
+  DepTask tx, ty;
+  reg(tx, {out(x)});
+  reg(ty, {out(y)});
+  EXPECT_EQ(rec_.order, (std::vector<DepTask*>{&tx, &ty}));
+  deps_->release(&ty, 0);
+  deps_->release(&tx, 0);
+}
+
+TEST_P(EveryDepsSystemTest, MultiAccessTaskWaitsForEveryObject) {
+  long long x = 0, y = 0;
+  DepTask writerX, writerY, joiner;
+  reg(writerX, {out(x)});
+  reg(writerY, {out(y)});
+  reg(joiner, {in(x), inout(y)});
+  EXPECT_FALSE(rec_.ready(&joiner));
+  deps_->release(&writerX, 0);
+  EXPECT_FALSE(rec_.ready(&joiner));
+  deps_->release(&writerY, 0);
+  EXPECT_TRUE(rec_.ready(&joiner));
+  deps_->release(&joiner, 0);
+  EXPECT_EQ(rec_.counts[&joiner], 1);
+}
+
+TEST_P(EveryDepsSystemTest, ResetAllowsDescriptorReuse) {
+  long long x = 0;
+  DepTask t0, t1;
+  reg(t0, {inout(x)});
+  deps_->release(&t0, 0);
+  deps_->reset();
+
+  // Same descriptors, same object, fresh chains: t0 must be ready at
+  // registration again instead of chaining behind its stale former self.
+  reg(t0, {inout(x)});
+  EXPECT_EQ(rec_.counts[&t0], 2);
+  reg(t1, {inout(x)});
+  EXPECT_FALSE(rec_.ready(&t1));
+  deps_->release(&t0, 0);
+  EXPECT_TRUE(rec_.ready(&t1));
+  deps_->release(&t1, 0);
+}
+
+TEST_P(EveryDepsSystemTest, ReportsItsName) {
+  EXPECT_STREQ(deps_->name(), GetParam() == DepsKind::WaitFreeAsm
+                                  ? "waitfree_asm"
+                                  : "fine_grained_locks");
+}
+
+}  // namespace
+}  // namespace ats

@@ -1,0 +1,198 @@
+#include "runtime/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace ats {
+namespace {
+
+RuntimeConfig testConfig(DepsKind deps, SchedulerKind sched,
+                         std::size_t workers) {
+  RuntimeConfig config = optimizedConfig(
+      makeTopology(MachinePreset::Host, workers));
+  config.deps = deps;
+  config.scheduler = sched;
+  return config;
+}
+
+std::string kindName(DepsKind kind) {
+  return kind == DepsKind::WaitFreeAsm ? "WaitFreeAsm" : "FineGrainedLocks";
+}
+
+std::string schedName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::CentralMutex: return "CentralMutex";
+    case SchedulerKind::PTLockCentral: return "PTLockCentral";
+    case SchedulerKind::SyncDelegation: return "SyncDelegation";
+    case SchedulerKind::WorkStealing: return "WorkStealing";
+  }
+  return "unknown";
+}
+
+using Matrix = std::tuple<DepsKind, SchedulerKind>;
+
+/// The full deps x scheduler matrix under 8 worker threads — the ISSUE's
+/// conservation shape, run under the same TSan job as everything else.
+class RuntimeMatrixTest : public ::testing::TestWithParam<Matrix> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, RuntimeMatrixTest,
+    ::testing::Combine(::testing::Values(DepsKind::WaitFreeAsm,
+                                         DepsKind::FineGrainedLocks),
+                       ::testing::Values(SchedulerKind::SyncDelegation,
+                                         SchedulerKind::PTLockCentral,
+                                         SchedulerKind::CentralMutex)),
+    [](const auto& info) {
+      return kindName(std::get<0>(info.param)) + "_" +
+             schedName(std::get<1>(info.param));
+    });
+
+TEST_P(RuntimeMatrixTest, SpawnTaskwaitConservesEveryTaskExactlyOnce) {
+  constexpr int kTasks = 2000;
+  const auto [deps, sched] = GetParam();
+  Runtime rt(testConfig(deps, sched, 8));
+
+  // Two batches through the same runtime so the second one exercises
+  // descriptor recycling and dependency-chain reset.
+  for (int batch = 0; batch < 2; ++batch) {
+    std::vector<std::atomic<int>> ran(kTasks);
+    std::atomic<int> total{0};
+    for (int i = 0; i < kTasks; ++i) {
+      rt.spawn({}, [&ran, &total, i] {
+        ran[static_cast<std::size_t>(i)].fetch_add(
+            1, std::memory_order_relaxed);
+        total.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    rt.taskwait();
+    EXPECT_EQ(total.load(), kTasks) << "batch " << batch;
+    for (int i = 0; i < kTasks; ++i) {
+      ASSERT_EQ(ran[static_cast<std::size_t>(i)].load(), 1)
+          << "task " << i << " in batch " << batch
+          << " ran zero or multiple times";
+    }
+  }
+}
+
+TEST_P(RuntimeMatrixTest, InoutChainObservesStrictlyIncreasingValues) {
+  constexpr int kLinks = 300;
+  const auto [deps, sched] = GetParam();
+  Runtime rt(testConfig(deps, sched, 8));
+
+  // The counter is deliberately NOT atomic: only a correct inout chain
+  // makes these bodies mutually exclusive and ordered, and TSan will
+  // flag any overlap the dependency system lets through.
+  long long counter = 0;
+  std::vector<long long> observed(kLinks, -1);
+  for (int i = 0; i < kLinks; ++i) {
+    rt.spawn({inout(counter)}, [&counter, &observed, i] {
+      observed[static_cast<std::size_t>(i)] = counter;
+      ++counter;
+    });
+  }
+  rt.taskwait();
+
+  EXPECT_EQ(counter, kLinks);
+  for (int i = 0; i < kLinks; ++i) {
+    ASSERT_EQ(observed[static_cast<std::size_t>(i)], i)
+        << "chain link " << i << " ran out of order";
+  }
+}
+
+TEST_P(RuntimeMatrixTest, ReadFanNeverObservesTornWriter) {
+  constexpr int kRounds = 40;
+  constexpr int kReadersPerRound = 8;
+  const auto [deps, sched] = GetParam();
+  Runtime rt(testConfig(deps, sched, 8));
+
+  // The writer bumps both halves non-atomically; a reader overlapping
+  // the writer (or another round's readers overlapping a later writer)
+  // sees a != b — and TSan sees a plain-memory race.
+  struct Pair {
+    long long a = 0;
+    long long b = 0;
+  } pair;
+  std::atomic<int> torn{0};
+  std::atomic<int> reads{0};
+  for (int round = 0; round < kRounds; ++round) {
+    rt.spawn({inout(pair)}, [&pair] {
+      ++pair.a;
+      ++pair.b;
+    });
+    for (int r = 0; r < kReadersPerRound; ++r) {
+      rt.spawn({in(pair)}, [&pair, &torn, &reads] {
+        if (pair.a != pair.b) torn.fetch_add(1, std::memory_order_relaxed);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }
+  rt.taskwait();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_EQ(reads.load(), kRounds * kReadersPerRound);
+  EXPECT_EQ(pair.a, kRounds);
+  EXPECT_EQ(pair.b, kRounds);
+}
+
+/// Non-matrix runtime behaviors, default (optimized) configuration.
+TEST(RuntimeTest, RawFunctionPointerSpawn) {
+  Runtime rt(optimizedConfig(makeTopology(MachinePreset::Host, 2)));
+  std::atomic<int> hits{0};
+  auto bump = +[](void* arg) {
+    static_cast<std::atomic<int>*>(arg)->fetch_add(1);
+  };
+  for (int i = 0; i < 100; ++i) rt.spawn({}, bump, &hits);
+  rt.taskwait();
+  EXPECT_EQ(hits.load(), 100);
+}
+
+TEST(RuntimeTest, LargeClosureSpillsToHeapAndStillRuns) {
+  Runtime rt(optimizedConfig(makeTopology(MachinePreset::Host, 2)));
+  std::array<long long, 32> payload{};  // 256 bytes: > inline capacity
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<long long>(i);
+  static_assert(sizeof(payload) > Task::kInlineClosureBytes);
+
+  long long sum = 0;
+  rt.spawn({out(sum)}, [payload, &sum] {
+    for (long long v : payload) sum += v;
+  });
+  rt.taskwait();
+  EXPECT_EQ(sum, 31 * 32 / 2);
+}
+
+TEST(RuntimeTest, TaskwaitWithNothingSpawnedIsANoOp) {
+  Runtime rt(optimizedConfig(makeTopology(MachinePreset::Host, 2)));
+  rt.taskwait();
+  rt.taskwait();
+}
+
+TEST(RuntimeTest, MixedObjectsRespectCrossObjectJoin) {
+  Runtime rt(optimizedConfig(makeTopology(MachinePreset::Host, 4)));
+  long long x = 0, y = 0, joined = -1;
+  rt.spawn({out(x)}, [&x] { x = 21; });
+  rt.spawn({out(y)}, [&y] { y = 21; });
+  rt.spawn({in(x), in(y), out(joined)},
+           [&x, &y, &joined] { joined = x + y; });
+  rt.taskwait();
+  EXPECT_EQ(joined, 42);
+}
+
+TEST(RuntimeTest, SchedulerAndDepsMatchConfig) {
+  RuntimeConfig config = withoutWaitFreeDepsConfig(
+      makeTopology(MachinePreset::Host, 2));
+  Runtime rt(config);
+  EXPECT_STREQ(rt.deps().name(), "fine_grained_locks");
+  EXPECT_STREQ(rt.scheduler().name(), "sync_dtlock");
+
+  Runtime rtOpt(optimizedConfig(makeTopology(MachinePreset::Host, 2)));
+  EXPECT_STREQ(rtOpt.deps().name(), "waitfree_asm");
+}
+
+}  // namespace
+}  // namespace ats
