@@ -5,6 +5,8 @@
 // patterns, at 1..8 threads.
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "containers/spsc_queue.hpp"
 #include "memory/pool_allocator.hpp"
 #include "memory/system_allocator.hpp"

@@ -43,9 +43,17 @@ class WaitFreeAsmDeps final : public DependencySystem {
   /// Per-object ASM anchor.  Only touched on the (per object,
   /// serialized) registration path and by the quiescent reset; the
   /// release path works purely through pointers the nodes carry.
+  /// ReadGroup is raw storage (see dep_task.hpp) and the root group has
+  /// no registering write to arm it, so the constructor must.
   struct ObjectAsm {
     AccessNode* lastWrite = nullptr;
     ReadGroup rootGroup;
+
+    ObjectAsm() {
+      rootGroup.pending.store(0, std::memory_order_relaxed);
+      rootGroup.closingWrite.store(nullptr, std::memory_order_relaxed);
+      rootGroup.attachedRegistrations = 0;
+    }
   };
 
   /// Both return how many of the node's preconditions resolved during

@@ -14,6 +14,7 @@
 #include "deps/access.hpp"
 #include "deps/dependency_system.hpp"
 #include "locks/locks.hpp"
+#include "memory/allocator.hpp"
 #include "runtime/runtime_config.hpp"
 #include "runtime/scheduler_factory.hpp"
 #include "runtime/task.hpp"
@@ -38,8 +39,13 @@ namespace ats {
 ///     through its own reserved CPU slot — the scheduler is built with
 ///     numCpus + 1 slots so the spawner is a first-class SPSC producer
 ///     and DTLock delegator without ever colliding with a worker's slot.
-///   * completed descriptors are recycled at the next taskwait, not at
-///     completion, so successor chains never chase a reused access node.
+///   * descriptors are reclaimed EAGERLY through the §4 allocator
+///     (`RuntimeConfig::usePoolAllocator` picks pool vs system): each
+///     carries a refcount covering its execution plus every way the
+///     dependency chains can still reach its access nodes, and goes
+///     back to the allocator the moment the count drains — so long
+///     dependency graphs with no taskwait keep live descriptor memory
+///     bounded by the in-flight window, not the spawn total.
 class Runtime {
  public:
   explicit Runtime(RuntimeConfig config);
@@ -70,6 +76,20 @@ class Runtime {
   const RuntimeConfig& config() const { return config_; }
   Scheduler& scheduler() { return *sched_; }
   DependencySystem& deps() { return *deps_; }
+  Allocator& allocator() { return *alloc_; }
+
+  /// Descriptors currently alive (allocated, not yet reclaimed).  With
+  /// eager reclamation this tracks the in-flight window; after a
+  /// taskwait it returns to zero.  Summed over per-CPU stripes, so a
+  /// mid-flight reading is approximate (individual stripes go negative
+  /// when one thread allocates what another reclaims); at quiescence it
+  /// is exact.
+  std::size_t liveDescriptors() const {
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i <= config_.topo.numCpus; ++i)
+      sum += descriptorDelta_[i].v.load(std::memory_order_relaxed);
+    return sum > 0 ? static_cast<std::size_t>(sum) : 0;
+  }
 
   /// Logical CPU slot of the calling thread: a worker's own slot, or the
   /// reserved spawner slot for any non-worker thread.
@@ -90,11 +110,27 @@ class Runtime {
         std::launder(reinterpret_cast<F*>(t.closureBuf))->~F();
       };
     } else {
-      task->arg = new F(std::forward<Fn>(fn));
-      task->invoker = [](Task& t) { (*static_cast<F*>(t.arg))(); };
-      task->closureDestroy = [](Task& t) {
-        delete static_cast<F*>(t.arg);
-        t.arg = nullptr;
+      // Heap spill through the same §4 allocator as the descriptor —
+      // closure churn is task churn.  Over-aligned captures (rare) fall
+      // back to aligned operator new, which the pool cannot guarantee.
+      if constexpr (alignof(F) <= Allocator::kAlignment) {
+        void* mem = alloc_->allocate(sizeof(F));
+        task->arg = ::new (mem) F(std::forward<Fn>(fn));
+        task->closureDestroy = [](Task& t) {
+          std::launder(static_cast<F*>(t.arg))->~F();
+          static_cast<Runtime*>(t.runtime)->alloc_->deallocate(t.arg,
+                                                              sizeof(F));
+          t.arg = nullptr;
+        };
+      } else {
+        task->arg = new F(std::forward<Fn>(fn));
+        task->closureDestroy = [](Task& t) {
+          delete static_cast<F*>(t.arg);
+          t.arg = nullptr;
+        };
+      }
+      task->invoker = [](Task& t) {
+        (*std::launder(static_cast<F*>(t.arg)))();
       };
     }
   }
@@ -106,22 +142,33 @@ class Runtime {
   void quiesce();
 
   static void completeThunk(Task& task);
+  static void reclaimThunk(DepTask& task);
   static void readyThunk(void* ctx, DepTask* task, std::size_t cpu);
+
+  /// Per-CPU-slot allocated-minus-reclaimed delta.  Each slot has a
+  /// single writing thread (workers their own, every non-worker the
+  /// spawner slot), so the hot path is a plain store — no shared-line
+  /// RMW per task like a single counter would cost.
+  struct alignas(64) DescriptorDelta {
+    std::atomic<std::int64_t> v{0};
+  };
+
+  void bumpDescriptorDelta(std::int64_t by) {
+    std::atomic<std::int64_t>& slot = descriptorDelta_[callerCpu()].v;
+    slot.store(slot.load(std::memory_order_relaxed) + by,
+               std::memory_order_relaxed);
+  }
 
   RuntimeConfig config_;
   std::size_t spawnerCpu_;
+  Allocator* alloc_;
   std::unique_ptr<DependencySystem> deps_;
   std::unique_ptr<Scheduler> sched_;
+  std::unique_ptr<DescriptorDelta[]> descriptorDelta_;
 
   std::atomic<std::size_t> inFlight_{0};
   std::atomic<bool> stop_{false};
   std::vector<std::thread> workers_;
-
-  // Descriptor pool: slab-owned, recycled at quiescent points.
-  SpinLock poolLock_;
-  std::vector<std::unique_ptr<Task>> slab_;
-  std::vector<Task*> freeTasks_;
-  std::vector<Task*> liveTasks_;
 };
 
 }  // namespace ats

@@ -45,4 +45,13 @@ RuntimeConfig withoutDTLockConfig(const Topology& topo);
 RuntimeConfig centralMutexRuntimeConfig(const Topology& topo);
 RuntimeConfig workStealingRuntimeConfig(const Topology& topo);
 
+/// Per-machine presets of the paper's evaluation (§6.1), fully
+/// optimized.  All three share the same defaults — scheduler, deps and
+/// allocator choice never vary by machine, only the topology does.
+/// `numCpus == 0` keeps the preset's native core count (the
+/// makeTopology convention).
+RuntimeConfig makeXeonConfig(std::size_t numCpus = 0);
+RuntimeConfig makeRomeConfig(std::size_t numCpus = 0);
+RuntimeConfig makeGravitonConfig(std::size_t numCpus = 0);
+
 }  // namespace ats

@@ -46,9 +46,10 @@ struct Task : DepTask {
   ///      function pointer);
   ///   2. run the completion hook, which destroys the closure, releases
   ///      the task's dependency accesses — readying successors into the
-  ///      scheduler — and recycles the descriptor (the runtime defers the
-  ///      actual reuse to the next quiescent point, so in-flight
-  ///      successor chains never see a recycled access node).
+  ///      scheduler — and drops the execution reference.  The descriptor
+  ///      is reclaimed EAGERLY the moment its refcount drains (see
+  ///      DepTask::refCount): release-path code must never touch another
+  ///      task's access nodes after resolving it.
   ///
   /// A task with neither closure nor raw body is a misconfigured bench or
   /// runtime bug; that used to no-op silently, now it fails loudly.

@@ -28,10 +28,29 @@ void WaitFreeAsmDeps::registerTask(DepTask* task, const Access* accesses,
 #endif
 
   std::int32_t preconditions = 1;  // creation guard
-  for (std::size_t i = 0; i < count; ++i)
+  std::int32_t writes = 0;
+  for (std::size_t i = 0; i < count; ++i) {
     preconditions += accesses[i].isRead() ? 1 : 2;
+    if (!accesses[i].isRead()) ++writes;
+  }
   task->pendingDeps.store(preconditions, std::memory_order_relaxed);
   task->numAccesses = count;
+
+  // Eager-reclamation references, armed up front: every write access
+  // will be published as its object's lastWrite (+1, dropped by the
+  // superseding write or quiescent reset) and owns a read group whose
+  // storage readers drain (+1, dropped by whoever detects the drain:
+  // the closing write when the group is already empty at close, the
+  // kClosedBias-landing reader otherwise, or reset when the group never
+  // closes).  Readers take NO references — an unclosed group's owner is
+  // still pinned by its lastWrite reference, a closed one by the group
+  // reference, so the counter they drain cannot die under them.  The
+  // load+store is race-free: the task is not published anywhere yet.
+  if (writes != 0) {
+    task->refCount.store(
+        task->refCount.load(std::memory_order_relaxed) + 2 * writes,
+        std::memory_order_relaxed);
+  }
 
   // Preconditions that resolve during registration are batched into the
   // guard drop below: one fetch_sub instead of one per resolution.
@@ -60,6 +79,7 @@ std::int32_t WaitFreeAsmDeps::registerRead(ObjectAsm& obj,
   ReadGroup* group =
       write != nullptr ? &write->succGroup : &obj.rootGroup;
   node->joinedGroup = group;
+  node->groupOwner = write != nullptr ? write->task : nullptr;
 
   if (write != nullptr) {
     // Attach to the predecessor write's packed reader list.  CAS success
@@ -100,6 +120,11 @@ std::int32_t WaitFreeAsmDeps::registerWrite(ObjectAsm& obj,
   std::int32_t resolved = 0;
   AccessNode* prev = obj.lastWrite;
 
+  // True when this close observed the predecessor's group already fully
+  // drained — then no reader will ever land on kClosedBias, so the
+  // group reference falls to us instead of a landing reader.
+  bool groupDrainedAtClose = false;
+
   // Read-group precondition.  Group membership is `pending` plus the
   // attached readers only this (serialized) registration path knows
   // about; outstanding readers = pending + attached, so the drained
@@ -116,6 +141,7 @@ std::int32_t WaitFreeAsmDeps::registerWrite(ObjectAsm& obj,
     // write's body is ordered after every reader's body even though no
     // RMW happens on this path.
     ++resolved;
+    groupDrainedAtClose = true;
   } else {
     // Close the group, folding the attached readers into the bias.  The
     // park-then-bias order matters: a reader that observes the bias
@@ -124,7 +150,10 @@ std::int32_t WaitFreeAsmDeps::registerWrite(ObjectAsm& obj,
     const std::int64_t beforeClose =
         group->pending.fetch_add(ReadGroup::kClosedBias + attached,
                                  std::memory_order_acq_rel);
-    if (beforeClose == -attached) ++resolved;
+    if (beforeClose == -attached) {
+      ++resolved;
+      groupDrainedAtClose = true;
+    }
   }
 
   // Write-chain precondition.
@@ -138,7 +167,14 @@ std::int32_t WaitFreeAsmDeps::registerWrite(ObjectAsm& obj,
     if (prevState & AccessNode::kCompleted) ++resolved;
   }
 
+  // Publish as the object's last write (our lastWrite reference was
+  // pre-armed by registerTask) and drop the superseded write's
+  // references: its lastWrite reference always, its group reference too
+  // when the close found the group already drained — strictly after the
+  // group close and chain link above, which were the final touches of
+  // `prev`'s storage on this path.
   obj.lastWrite = node;
+  if (prev != nullptr) prev->task->dropRef(groupDrainedAtClose ? 2 : 1);
   return resolved;
 }
 
@@ -154,6 +190,12 @@ void WaitFreeAsmDeps::release(DepTask* task, std::size_t cpu) {
         AccessNode* write =
             group->closingWrite.load(std::memory_order_acquire);
         resolveOne(write->task, cpu);
+        // We landed the drain of a closed group: every other reader's
+        // fetch_sub is ordered before ours and none of them touches the
+        // group again, so the owner's group reference dies with us.
+        // (An unclosed group's owner is still pinned as lastWrite; the
+        // root group has no owner.)
+        if (node->groupOwner != nullptr) node->groupOwner->dropRef();
       }
     } else {
       // One RMW completes the write: it closes the reader list (any
@@ -172,8 +214,13 @@ void WaitFreeAsmDeps::release(DepTask* task, std::size_t cpu) {
         ordered = reader;
         reader = next;
       }
-      for (; ordered != nullptr; ordered = ordered->nextReader) {
+      // Read each link BEFORE resolving its node: resolveOne may run,
+      // complete, and eagerly reclaim the reader's descriptor — and the
+      // link lives inside it.
+      while (ordered != nullptr) {
+        AccessNode* next = ordered->nextReader;
         resolveOne(ordered->task, cpu);
+        ordered = next;
       }
       if (state & AccessNode::kHasSuccessor) {
         AccessNode* succ =
@@ -186,7 +233,14 @@ void WaitFreeAsmDeps::release(DepTask* task, std::size_t cpu) {
 
 void WaitFreeAsmDeps::reset() {
   objects_.forEach([](ObjectAsm& obj) {
-    obj.lastWrite = nullptr;
+    if (obj.lastWrite != nullptr) {
+      // Quiescence: nothing will chase this chain again, so the final
+      // write's lastWrite reference can go, and — since its group was
+      // never closed (a closing write would have superseded it) — its
+      // own group reference with it.
+      obj.lastWrite->task->dropRef(2);
+      obj.lastWrite = nullptr;
+    }
     obj.rootGroup.pending.store(0, std::memory_order_relaxed);
     obj.rootGroup.closingWrite.store(nullptr, std::memory_order_relaxed);
     obj.rootGroup.attachedRegistrations = 0;

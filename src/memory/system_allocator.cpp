@@ -1,0 +1,12 @@
+#include "memory/system_allocator.hpp"
+
+namespace ats {
+
+SystemAllocator& SystemAllocator::instance() {
+  // Leaked like the pool singleton, so late-shutdown frees (thread-local
+  // destructors, static teardown) always have somewhere to go.
+  static SystemAllocator* inst = new SystemAllocator();
+  return *inst;
+}
+
+}  // namespace ats

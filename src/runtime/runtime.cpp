@@ -3,6 +3,9 @@
 #include <chrono>
 #include <mutex>
 
+#include "memory/pool_allocator.hpp"
+#include "memory/system_allocator.hpp"
+
 #if defined(__linux__)
 #include <pthread.h>
 #include <sched.h>
@@ -42,10 +45,19 @@ void pinWorker(std::size_t cpu, std::size_t numWorkers) {
 }  // namespace
 
 Runtime::Runtime(RuntimeConfig config) : config_(std::move(config)) {
+  // §4: descriptors (and heap-spilled closures) come from the
+  // configured allocator — the thread-caching pool for the optimized
+  // runtime, plain operator new for the "w/o jemalloc" ablation.
+  alloc_ = config_.usePoolAllocator
+               ? static_cast<Allocator*>(&PoolAllocator::instance())
+               : static_cast<Allocator*>(&SystemAllocator::instance());
+
   // The scheduler gets one slot per worker plus the reserved spawner
   // slot, so every thread that touches it is a distinct SPSC producer
   // and DTLock delegator.
   spawnerCpu_ = config_.topo.numCpus;
+  descriptorDelta_ =
+      std::make_unique<DescriptorDelta[]>(config_.topo.numCpus + 1);
   RuntimeConfig schedConfig = config_;
   schedConfig.topo.numCpus = config_.topo.numCpus + 1;
   sched_ = makeScheduler(schedConfig);
@@ -76,17 +88,29 @@ void Runtime::spawn(std::initializer_list<Access> accesses,
 }
 
 Task* Runtime::allocateTask() {
-  std::lock_guard<SpinLock> guard(poolLock_);
-  Task* task;
-  if (!freeTasks_.empty()) {
-    task = freeTasks_.back();
-    freeTasks_.pop_back();
-  } else {
-    slab_.push_back(std::make_unique<Task>());
-    task = slab_.back().get();
-  }
-  liveTasks_.push_back(task);
+  static_assert(alignof(Task) <= Allocator::kAlignment);
+  // Default-init, NOT value-init: Task() would zero the whole
+  // descriptor (1KB+ of access-node storage) before the member
+  // initializers run; the registration path initializes every access
+  // field it uses (see dep_task.hpp).
+  Task* task = ::new (alloc_->allocate(sizeof(Task))) Task;
+  task->runtime = this;
+  // One execution reference, dropped after the completion path releases
+  // the task's dependencies; the deps layer adds its own for every way
+  // a chain can still reach the access nodes.  Whoever drops the last
+  // one hands the descriptor straight back to the allocator.
+  task->refCount.store(1, std::memory_order_relaxed);
+  task->onLastRef = &reclaimThunk;
+  bumpDescriptorDelta(+1);
   return task;
+}
+
+void Runtime::reclaimThunk(DepTask& dep) {
+  Task& task = static_cast<Task&>(dep);
+  Runtime* self = static_cast<Runtime*>(task.runtime);
+  task.~Task();
+  self->alloc_->deallocate(&task, sizeof(Task));
+  self->bumpDescriptorDelta(-1);
 }
 
 void Runtime::submit(Task* task, const Access* accesses, std::size_t count) {
@@ -119,6 +143,11 @@ void Runtime::complete(Task* task) {
     task->invoker = nullptr;
   }
   deps_->release(task, callerCpu());
+  // Execution reference: from here the descriptor lives only as long as
+  // dependency chains can still reach it — often this drop reclaims it
+  // on the spot.  Must precede the inFlight_ decrement so a taskwait'er
+  // observing zero knows every drop but the deps layer's own is done.
+  task->dropRef();
   // Release order: the taskwait'er acquiring inFlight_ == 0 must see
   // every body's side effects.
   inFlight_.fetch_sub(1, std::memory_order_acq_rel);
@@ -180,17 +209,11 @@ void Runtime::taskwait() {
 }
 
 void Runtime::quiesce() {
+  // Forgetting the chains drops the deps layer's lastWrite references —
+  // the only ones that can outlive their task's completion — so after
+  // this, every descriptor is back in the allocator.
   deps_->reset();
-  std::lock_guard<SpinLock> guard(poolLock_);
-  for (Task* task : liveTasks_) {
-    task->body = nullptr;
-    task->arg = nullptr;
-    task->invoker = nullptr;
-    task->closureDestroy = nullptr;
-    task->onComplete = nullptr;
-    freeTasks_.push_back(task);
-  }
-  liveTasks_.clear();
+  assert(liveDescriptors() == 0 && "descriptors leaked past quiescence");
 }
 
 }  // namespace ats

@@ -4,7 +4,9 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -12,11 +14,12 @@ namespace ats {
 namespace {
 
 RuntimeConfig testConfig(DepsKind deps, SchedulerKind sched,
-                         std::size_t workers) {
+                         std::size_t workers, bool usePool = true) {
   RuntimeConfig config = optimizedConfig(
       makeTopology(MachinePreset::Host, workers));
   config.deps = deps;
   config.scheduler = sched;
+  config.usePoolAllocator = usePool;
   return config;
 }
 
@@ -34,10 +37,13 @@ std::string schedName(SchedulerKind kind) {
   return "unknown";
 }
 
-using Matrix = std::tuple<DepsKind, SchedulerKind>;
+using Matrix = std::tuple<DepsKind, SchedulerKind, bool>;
 
-/// The full deps x scheduler matrix under 8 worker threads — the ISSUE's
-/// conservation shape, run under the same TSan job as everything else.
+/// The full deps x scheduler x allocator matrix under 8 worker threads —
+/// the ISSUE's conservation shape, run under the same TSan job as
+/// everything else.  The allocator dimension reruns every shape with
+/// `usePoolAllocator` on and off, so both §4 paths keep the exactly-once
+/// and ordering contracts.
 class RuntimeMatrixTest : public ::testing::TestWithParam<Matrix> {};
 
 INSTANTIATE_TEST_SUITE_P(
@@ -46,16 +52,18 @@ INSTANTIATE_TEST_SUITE_P(
                                          DepsKind::FineGrainedLocks),
                        ::testing::Values(SchedulerKind::SyncDelegation,
                                          SchedulerKind::PTLockCentral,
-                                         SchedulerKind::CentralMutex)),
+                                         SchedulerKind::CentralMutex),
+                       ::testing::Bool()),
     [](const auto& info) {
       return kindName(std::get<0>(info.param)) + "_" +
-             schedName(std::get<1>(info.param));
+             schedName(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_PoolAlloc" : "_SystemAlloc");
     });
 
 TEST_P(RuntimeMatrixTest, SpawnTaskwaitConservesEveryTaskExactlyOnce) {
   constexpr int kTasks = 2000;
-  const auto [deps, sched] = GetParam();
-  Runtime rt(testConfig(deps, sched, 8));
+  const auto [deps, sched, usePool] = GetParam();
+  Runtime rt(testConfig(deps, sched, 8, usePool));
 
   // Two batches through the same runtime so the second one exercises
   // descriptor recycling and dependency-chain reset.
@@ -81,8 +89,8 @@ TEST_P(RuntimeMatrixTest, SpawnTaskwaitConservesEveryTaskExactlyOnce) {
 
 TEST_P(RuntimeMatrixTest, InoutChainObservesStrictlyIncreasingValues) {
   constexpr int kLinks = 300;
-  const auto [deps, sched] = GetParam();
-  Runtime rt(testConfig(deps, sched, 8));
+  const auto [deps, sched, usePool] = GetParam();
+  Runtime rt(testConfig(deps, sched, 8, usePool));
 
   // The counter is deliberately NOT atomic: only a correct inout chain
   // makes these bodies mutually exclusive and ordered, and TSan will
@@ -107,8 +115,8 @@ TEST_P(RuntimeMatrixTest, InoutChainObservesStrictlyIncreasingValues) {
 TEST_P(RuntimeMatrixTest, ReadFanNeverObservesTornWriter) {
   constexpr int kRounds = 40;
   constexpr int kReadersPerRound = 8;
-  const auto [deps, sched] = GetParam();
-  Runtime rt(testConfig(deps, sched, 8));
+  const auto [deps, sched, usePool] = GetParam();
+  Runtime rt(testConfig(deps, sched, 8, usePool));
 
   // The writer bumps both halves non-atomically; a reader overlapping
   // the writer (or another round's readers overlapping a later writer)
@@ -181,6 +189,97 @@ TEST(RuntimeTest, MixedObjectsRespectCrossObjectJoin) {
            [&x, &y, &joined] { joined = x + y; });
   rt.taskwait();
   EXPECT_EQ(joined, 42);
+}
+
+/// §4 eager reclamation: a spawn-heavy dependency chain with NO taskwait
+/// must keep live descriptor memory bounded by the in-flight window —
+/// completed descriptors go back to the allocator as soon as the chains
+/// can no longer reach them, not at the next quiescent point.  Run for
+/// both allocator settings (the refcount protocol is allocator-agnostic).
+class EagerReclamationTest : public ::testing::TestWithParam<bool> {};
+
+INSTANTIATE_TEST_SUITE_P(Allocators, EagerReclamationTest,
+                         ::testing::Bool(), [](const auto& info) {
+                           return info.param ? std::string("PoolAlloc")
+                                             : std::string("SystemAlloc");
+                         });
+
+TEST_P(EagerReclamationTest, NoTaskwaitChainKeepsDescriptorsBounded) {
+  constexpr int kWaves = 25;
+  constexpr int kTasksPerWave = 400;
+  // Post-wave settle target: the final write of the chain stays pinned
+  // by the deps layer's lastWrite reference, and a straggler can still
+  // be inside its completion path — anything beyond a handful means
+  // completed descriptors are accumulating like the old slab did.
+  constexpr std::size_t kSettledBound = 4;
+
+  Runtime rt(testConfig(DepsKind::WaitFreeAsm,
+                        SchedulerKind::SyncDelegation, 4, GetParam()));
+  long long x = 0;
+  std::atomic<int> done{0};
+  for (int wave = 0; wave < kWaves; ++wave) {
+    for (int i = 0; i < kTasksPerWave; ++i) {
+      rt.spawn({inout(x)}, [&x, &done] {
+        ++x;
+        done.fetch_add(1, std::memory_order_release);
+      });
+    }
+    // Wait for the wave to finish WITHOUT a taskwait, then for the
+    // reclamation drops (which trail the done counter) to settle.
+    const int target = (wave + 1) * kTasksPerWave;
+    while (done.load(std::memory_order_acquire) < target)
+      std::this_thread::yield();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (rt.liveDescriptors() > kSettledBound &&
+           std::chrono::steady_clock::now() < deadline)
+      std::this_thread::yield();
+    ASSERT_LE(rt.liveDescriptors(), kSettledBound)
+        << "wave " << wave << ": completed descriptors are not being "
+        << "reclaimed eagerly";
+  }
+
+  rt.taskwait();
+  EXPECT_EQ(x, kWaves * kTasksPerWave);
+  EXPECT_EQ(rt.liveDescriptors(), 0u)
+      << "taskwait quiescence left descriptors live";
+}
+
+/// The per-machine §6.1 configs must agree on every default except the
+/// topology, and both allocator settings must produce a working runtime
+/// (the usePoolAllocator knob was silently ignored before the §4 layer).
+TEST(RuntimeConfigTest, MachinePresetConfigsShareConsistentDefaults) {
+  const RuntimeConfig xeon = makeXeonConfig();
+  const RuntimeConfig rome = makeRomeConfig();
+  const RuntimeConfig graviton = makeGravitonConfig();
+  const RuntimeConfig reference =
+      optimizedConfig(makeTopology(MachinePreset::Host));
+
+  for (const RuntimeConfig* config : {&xeon, &rome, &graviton}) {
+    EXPECT_EQ(config->scheduler, reference.scheduler);
+    EXPECT_EQ(config->deps, reference.deps);
+    EXPECT_EQ(config->usePoolAllocator, reference.usePoolAllocator);
+    EXPECT_EQ(config->addBufferCapacity, reference.addBufferCapacity);
+    EXPECT_EQ(config->enableTracing, reference.enableTracing);
+  }
+  EXPECT_EQ(xeon.topo.preset, MachinePreset::Xeon);
+  EXPECT_EQ(rome.topo.preset, MachinePreset::Rome);
+  EXPECT_EQ(graviton.topo.preset, MachinePreset::Graviton);
+}
+
+TEST(RuntimeConfigTest, BothAllocatorSettingsProduceAWorkingRuntime) {
+  for (const bool usePool : {true, false}) {
+    RuntimeConfig config = makeXeonConfig(2);  // 2 workers on CI hosts
+    config.usePoolAllocator = usePool;
+    Runtime rt(config);
+    EXPECT_STREQ(rt.allocator().name(), usePool ? "pool" : "system");
+    std::atomic<int> hits{0};
+    for (int i = 0; i < 200; ++i) {
+      rt.spawn({}, [&hits] { hits.fetch_add(1, std::memory_order_relaxed); });
+    }
+    rt.taskwait();
+    EXPECT_EQ(hits.load(), 200);
+  }
 }
 
 TEST(RuntimeTest, SchedulerAndDepsMatchConfig) {
