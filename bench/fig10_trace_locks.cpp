@@ -64,12 +64,12 @@ TraceAnalysis runVariant(const char* label, SchedulerKind sched,
 
 int main() {
   const std::size_t threads = envSize("ATS_THREADS", 4);
-  const std::string traceDir = envStr("ATS_TRACE_DIR", ".");
+  const std::string traceDir = envString("ATS_TRACE_DIR", ".");
   std::printf("# fig10: scheduler lock comparison under fine-grained "
               "miniAMR flood (%zu threads)\n\n", threads);
 
   const TraceAnalysis dt =
-      runVariant("dtlock", SchedulerKind::SyncDTLock, threads, traceDir);
+      runVariant("dtlock", SchedulerKind::SyncDelegation, threads, traceDir);
   const TraceAnalysis pt =
       runVariant("ptlock", SchedulerKind::PTLockCentral, threads, traceDir);
 

@@ -24,7 +24,7 @@ using namespace ats;
 
 int main() {
   const std::size_t threads = envSize("ATS_THREADS", 4);
-  const std::string traceDir = envStr("ATS_TRACE_DIR", ".");
+  const std::string traceDir = envString("ATS_TRACE_DIR", ".");
   std::printf("# fig11: OS-noise effect on the scheduler "
               "(%zu threads, synthetic irq bursts)\n\n", threads);
 

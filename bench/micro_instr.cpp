@@ -14,8 +14,19 @@ using namespace ats;
 
 void BM_EmitCost(benchmark::State& state) {
   Tracer tracer(1, 1u << 20);
-  for (auto _ : state)
+  // Rewind just before the keep-oldest ring fills so every timed emit
+  // pays the real record-write path (TSC read + 24B store + head
+  // publish), never the cheaper saturated drop-bump that
+  // BM_EmitCostRingFull prices separately.  The amortized reset cost
+  // (a handful of stores per 2^20 emits) is noise.
+  std::uint64_t sinceReset = 0;
+  for (auto _ : state) {
     tracer.emit(0, TraceEvent::TaskStart, 42);
+    if (++sinceReset == tracer.capacityPerStream()) {
+      sinceReset = 0;
+      tracer.reset();
+    }
+  }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_EmitCost);
@@ -45,6 +56,13 @@ void BM_DisabledTracerCheck(benchmark::State& state) {
 BENCHMARK(BM_DisabledTracerCheck);
 
 void runtimeThroughput(benchmark::State& state, bool traced) {
+  // Deliberately ONE tracer across every iteration: a deployed §5
+  // tracer is a bounded observation window (fig-harness sized rings),
+  // so a long traced run pays the record-write path while the window
+  // is open and the saturated drop-bump after it fills — both are the
+  // real cost of leaving the tracer attached.  The window boundary is
+  // disclosed, not hidden: the dropped-events count is exported as a
+  // benchmark counter (nonzero once the run outlives the window).
   Tracer tracer(4, 1u << 18);
   RuntimeConfig cfg = optimizedConfig(makeTopology(MachinePreset::Host, 4));
   if (traced) cfg.tracer = &tracer;
@@ -56,6 +74,11 @@ void runtimeThroughput(benchmark::State& state, bool traced) {
     rt.taskwait();
   }
   state.SetItemsProcessed(state.iterations() * kBatch);
+  if (traced) {
+    state.counters["dropped_events"] = static_cast<double>(tracer.dropped());
+    state.counters["recorded_events"] =
+        static_cast<double>(tracer.collect().size());
+  }
 }
 
 void BM_RuntimeUntraced(benchmark::State& state) {

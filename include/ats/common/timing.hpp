@@ -14,6 +14,26 @@ inline std::uint64_t nowNanos() {
           .count());
 }
 
+/// Raw cycle/tick counter for trace timestamps (§5): one unserialized
+/// register read, no syscall, no vDSO branch — the cheapest "when" a
+/// hot path can record.  Ticks are NOT nanoseconds and the rate varies
+/// by machine; consumers must rescale against a (tsc, nowNanos) pair
+/// sampled at two points (see Tracer::collect).  On x86 the TSC is
+/// invariant and core-synchronized on every machine the paper targets;
+/// on aarch64 cntvct_el0 is architecturally synchronized.  Hosts with
+/// neither fall back to nowNanos(), trading emit cost for portability.
+inline std::uint64_t tscNow() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_ia32_rdtsc();
+#elif defined(__aarch64__)
+  std::uint64_t ticks;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(ticks));
+  return ticks;
+#else
+  return nowNanos();
+#endif
+}
+
 /// Polite busy-wait hint: tells the core we are spinning so SMT siblings
 /// (and, on x86, the memory-order machinery) can deprioritize us.
 inline void cpuRelax() {

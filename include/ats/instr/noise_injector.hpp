@@ -1,0 +1,54 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+
+#include "instr/tracer.hpp"
+
+namespace ats {
+
+/// Synthetic OS noise for the fig11 scenario: a thread pinned to
+/// `targetCpu` that burns the CPU for `burstUs` every `periodUs`,
+/// logging KernelIrqEnter/Exit around each burst into the tracer's
+/// kernel stream.  Under the kernel's normal preemption the burst
+/// displaces whatever worker runs on that core — the same displacement
+/// a real interrupt storm causes — while the runtime under test stays
+/// completely unmodified.  DESIGN.md explains why this userspace
+/// burst-burner preserves the measurement where an in-runtime "pretend
+/// we were interrupted" hook would not.
+///
+/// Injection starts at construction and runs until stop() (or the
+/// destructor).  Single injector per tracer: the kernel stream is
+/// single-writer like every other stream.
+class KernelNoiseInjector {
+ public:
+  KernelNoiseInjector(Tracer& tracer, std::uint64_t periodUs,
+                      std::uint64_t burstUs, std::size_t targetCpu);
+  ~KernelNoiseInjector();
+
+  KernelNoiseInjector(const KernelNoiseInjector&) = delete;
+  KernelNoiseInjector& operator=(const KernelNoiseInjector&) = delete;
+
+  /// Finish the current burst (if any) and join the injector thread.
+  /// Idempotent.
+  void stop();
+
+  std::uint64_t burstsInjected() const {
+    return bursts_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void run();
+
+  Tracer& tracer_;
+  const std::uint64_t periodUs_;
+  const std::uint64_t burstUs_;
+  const std::size_t targetCpu_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> bursts_{0};
+  std::thread thread_;
+};
+
+}  // namespace ats

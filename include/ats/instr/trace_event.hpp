@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ats {
+
+/// What happened at a trace point (§5).  Each value names the layer that
+/// emits it: Task*/WorkerIdle* come from the runtime's execution loops,
+/// Sched* from the scheduler implementations, KernelIrq* from whatever
+/// feeds the tracer's kernel stream (the KernelNoiseInjector here; a
+/// perf/ftrace bridge on a real deployment).
+enum class TraceEvent : std::uint16_t {
+  TaskStart = 1,       ///< payload: task descriptor address
+  TaskEnd = 2,         ///< payload: task descriptor address
+  SchedServe = 3,      ///< lock holder handed a task to a waiter; payload: waiter CPU
+  SchedDrain = 4,      ///< add-buffers drained into the policy; payload: tasks moved
+  SchedLockContended = 5,  ///< an ADD found the central lock busy; payload: CPU
+  WorkerIdleBegin = 6,     ///< first empty poll of an idle streak
+  WorkerIdleEnd = 7,       ///< a task arrived after an idle streak
+  KernelIrqEnter = 8,      ///< payload: displaced CPU
+  KernelIrqExit = 9,       ///< payload: displaced CPU
+};
+
+constexpr const char* eventName(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::TaskStart: return "TaskStart";
+    case TraceEvent::TaskEnd: return "TaskEnd";
+    case TraceEvent::SchedServe: return "SchedServe";
+    case TraceEvent::SchedDrain: return "SchedDrain";
+    case TraceEvent::SchedLockContended: return "SchedLockContended";
+    case TraceEvent::WorkerIdleBegin: return "WorkerIdleBegin";
+    case TraceEvent::WorkerIdleEnd: return "WorkerIdleEnd";
+    case TraceEvent::KernelIrqEnter: return "KernelIrqEnter";
+    case TraceEvent::KernelIrqExit: return "KernelIrqExit";
+  }
+  return "Unknown";
+}
+
+/// One trace point, 24 bytes fixed — the record size is part of the
+/// binary format (TraceWriter), so this layout may only change together
+/// with a format version bump.
+///
+/// `timeNs` dual use: inside a Tracer ring it holds the raw TSC sample
+/// the emitter took (`tscNow()`, one register read); `Tracer::collect()`
+/// rescales it to nanoseconds since the tracer's construction using the
+/// construction/collection calibration pair.  Every consumer (writer,
+/// analyzer, timeline) sees only the rescaled form.
+struct TraceRecord {
+  std::uint64_t timeNs;    ///< ns since trace epoch (raw TSC while in-ring)
+  std::uint64_t payload;   ///< event-specific (see TraceEvent)
+  TraceEvent event;
+  std::uint16_t stream;    ///< emitting stream: CPU slot, spawner, or kernel
+  std::uint32_t reserved;  ///< zero; keeps the record 8-byte aligned at 24B
+};
+
+static_assert(sizeof(TraceRecord) == 24,
+              "TraceRecord is a serialized format; see TraceWriter");
+
+}  // namespace ats

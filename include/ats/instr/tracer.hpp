@@ -1,0 +1,122 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/timing.hpp"
+#include "instr/trace_event.hpp"
+
+namespace ats {
+
+/// The §5 tracing backend: one fixed-capacity single-writer ring per
+/// stream, written with plain stores so `emit` is wait-free and cheap
+/// enough to leave the optimized runtime unperturbed.
+///
+///   Tracer tracer(numCpus, 1u << 18);
+///   cfg.tracer = &tracer;                  // runtime + scheduler emit
+///   ...run...
+///   auto records = tracer.collect();       // merged, timestamp-ordered
+///
+/// Streams: `numCpuStreams` worker streams (index == the runtime's CPU
+/// slot), plus two auxiliary ones the constructor always provisions —
+/// `spawnerStream()` (== numCpuStreams, matching the runtime's reserved
+/// spawner slot) and `kernelStream()` for KernelIrq* events from the
+/// noise injector or a real kernel-event bridge.  Each stream has
+/// exactly one writing thread; that single-writer discipline is what
+/// lets `emit` publish with one release store and no RMW.
+///
+/// Full-ring semantics: the ring keeps the OLDEST `capacityPerStream`
+/// records and drops the rest, bumping a per-stream saturating counter
+/// (`dropped()`), so a saturated tracer degrades to a counter bump, not
+/// to blocking or overwriting the records an analyzer already reasons
+/// about.  Size rings for the window you need (DESIGN.md).
+///
+/// `collect()` may run concurrently with emitters (it snapshots each
+/// ring's published prefix) but the returned merge is only complete for
+/// streams that have quiesced; call it after the traced region.
+class Tracer {
+ public:
+  /// `numCpuStreams` worker streams + the two aux streams.  Capacity is
+  /// per stream, in records (24B each).
+  Tracer(std::size_t numCpuStreams, std::size_t capacityPerStream);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  std::size_t numCpuStreams() const { return numCpuStreams_; }
+  std::size_t numStreams() const { return numStreams_; }
+  std::size_t spawnerStream() const { return numCpuStreams_; }
+  std::size_t kernelStream() const { return numCpuStreams_ + 1; }
+  std::size_t capacityPerStream() const { return capacity_; }
+
+  /// Wait-free, single writer per stream: one TSC read, one 24-byte
+  /// store, one release store of the head.  A full ring (or an
+  /// out-of-range stream) degrades to a saturating drop-count bump.
+  void emit(std::size_t stream, TraceEvent event, std::uint64_t payload = 0) {
+    if (stream >= numStreams_) {
+      misdirected_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    Stream& s = streams_[stream];
+    const std::uint32_t head = s.head.load(std::memory_order_relaxed);
+    if (head >= capacity_) {
+      // Saturating so a flood can never wrap the counter back to
+      // "nothing dropped" — analyzers must be able to trust zero.
+      const std::uint64_t drops = s.drops.load(std::memory_order_relaxed);
+      if (drops != ~std::uint64_t{0})
+        s.drops.store(drops + 1, std::memory_order_relaxed);
+      return;
+    }
+    TraceRecord& r = s.records[head];
+    r.timeNs = tscNow();  // raw ticks; collect() rescales to ns
+    r.payload = payload;
+    r.event = event;
+    r.stream = static_cast<std::uint16_t>(stream);
+    r.reserved = 0;
+    s.head.store(head + 1, std::memory_order_release);
+  }
+
+  /// Merge every stream's published records into one timestamp-ordered
+  /// vector, with `timeNs` rescaled from raw ticks to nanoseconds since
+  /// this Tracer's construction.  The rescale calibrates tick rate from
+  /// the (construction, collect) sample pair, so it needs no a-priori
+  /// TSC frequency.  Non-destructive: records stay in their rings.
+  std::vector<TraceRecord> collect() const;
+
+  /// Records lost to full rings plus emits aimed at streams this tracer
+  /// does not have, summed over streams.  Saturates; zero is exact.
+  std::uint64_t dropped() const;
+
+  /// Rewind every ring to empty, zero the drop counters, and re-anchor
+  /// the ticks->ns calibration epoch — reuse for long-running hosts
+  /// (benchmark loops, figure-harness repetitions) without paying ring
+  /// reallocation.  The rewind itself is only atomic head/counter
+  /// stores, so live emitters are tolerated, but records emitted while
+  /// a reset is in flight can straddle epochs: collect() output is only
+  /// meaningful when the reset happened at quiescence.
+  void reset();
+
+ private:
+  static constexpr std::size_t kAuxStreams = 2;  // spawner + kernel
+
+  /// Cache-line separated so emitters on different streams never share
+  /// a head/drops line; `records` are written by the owner only.
+  struct alignas(64) Stream {
+    std::unique_ptr<TraceRecord[]> records;
+    std::atomic<std::uint32_t> head{0};
+    std::atomic<std::uint64_t> drops{0};
+  };
+
+  std::size_t numCpuStreams_;
+  std::size_t numStreams_;
+  std::uint32_t capacity_;
+  std::unique_ptr<Stream[]> streams_;
+  std::atomic<std::uint64_t> misdirected_{0};
+  std::uint64_t tscEpoch_;  ///< tscNow() at construction
+  std::uint64_t nsEpoch_;   ///< nowNanos() at construction
+};
+
+}  // namespace ats

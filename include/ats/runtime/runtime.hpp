@@ -39,6 +39,12 @@ namespace ats {
 ///     through its own reserved CPU slot — the scheduler is built with
 ///     numCpus + 1 slots so the spawner is a first-class SPSC producer
 ///     and DTLock delegator without ever colliding with a worker's slot.
+///   * when `RuntimeConfig::tracer` is set, workers emit §5 events
+///     (TaskStart/End, WorkerIdleBegin/End) into their own per-CPU
+///     streams and the scheduler emits its serve/drain/contention
+///     events; with the default null tracer every site short-circuits
+///     on one branch and the hot paths are byte-for-byte the untraced
+///     ones.
 ///   * descriptors are reclaimed EAGERLY through the §4 allocator
 ///     (`RuntimeConfig::usePoolAllocator` picks pool vs system): each
 ///     carries a refcount covering its execution plus every way the

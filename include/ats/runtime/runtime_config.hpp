@@ -7,6 +7,8 @@
 
 namespace ats {
 
+class Tracer;  // instr layer; runtime_config stays header-light
+
 /// Which scheduler design the runtime instantiates (fig_common's curves).
 enum class SchedulerKind {
   CentralMutex,    ///< one OS mutex (serial-insertion / GOMP-like base)
@@ -29,8 +31,16 @@ struct RuntimeConfig {
   /// Slots in each per-CPU SPSC add-buffer (SyncDelegation only).
   std::size_t addBufferCapacity = 256;
 
-  /// Instrumentation backend (§5); off by default, fig10/fig11 enable it.
-  bool enableTracing = false;
+  /// Instrumentation backend (§5): the per-CPU ring tracer the runtime
+  /// and scheduler emit into, or nullptr (the default) for the untraced
+  /// fast path — every emission site is null-guarded, so this field
+  /// being null costs one predictable branch per site.  Not owned; the
+  /// tracer must outlive the Runtime (declare it first) and carry
+  /// EXACTLY `topo.numCpus` CPU streams — its constructor adds the
+  /// spawner and kernel streams on top, and the Runtime aborts loudly
+  /// on a mismatch (misrouted streams would otherwise corrupt the
+  /// single-writer rings silently).  micro_instr and fig10/fig11 set it.
+  Tracer* tracer = nullptr;
 };
 
 /// Fully optimized runtime — every paper technique on ("nanos6" curve).

@@ -36,11 +36,16 @@ class AddBufferSet {
 
   /// Move every published add into the policy, crediting each task to
   /// the CPU that enqueued it.  Caller must hold the scheduler's lock.
-  void drainInto(SchedulerPolicy& policy) {
+  /// Returns the number of tasks moved (the SchedDrain trace payload).
+  std::size_t drainInto(SchedulerPolicy& policy) {
+    std::size_t drained = 0;
     for (std::size_t cpu = 0; cpu < buffers_.size(); ++cpu) {
-      buffers_[cpu]->consumeAll(
-          [&](Task* task) { policy.addTask(task, cpu); });
+      buffers_[cpu]->consumeAll([&](Task* task) {
+        policy.addTask(task, cpu);
+        ++drained;
+      });
     }
+    return drained;
   }
 
  private:

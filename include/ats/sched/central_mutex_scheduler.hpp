@@ -15,8 +15,11 @@ namespace ats {
 /// compare synchronization substrates, not queue implementations.
 class CentralMutexScheduler final : public Scheduler {
  public:
+  /// Traced variant emits SchedLockContended for every add that found
+  /// the mutex held (and then blocked) — serial insertion made visible.
   explicit CentralMutexScheduler(
-      Topology topo, std::unique_ptr<SchedulerPolicy> policy = nullptr);
+      Topology topo, std::unique_ptr<SchedulerPolicy> policy = nullptr,
+      Tracer* tracer = nullptr);
 
   void addReadyTask(Task* task, std::size_t cpu) override;
   Task* getReadyTask(std::size_t cpu) override;

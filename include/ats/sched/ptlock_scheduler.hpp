@@ -18,8 +18,12 @@ namespace ats {
 /// 4x), while serial_mutex-vs-ptlock isolates the add-buffers (the 12x).
 class PTLockScheduler final : public Scheduler {
  public:
+  /// Traced variant emits SchedDrain per non-empty drain and
+  /// SchedLockContended once per overflow episode that finds the lock
+  /// busy — the "creator core fights for the lock" signal of fig10.
   PTLockScheduler(Topology topo, std::unique_ptr<SchedulerPolicy> policy,
-                  std::size_t addBufferCapacity = 256);
+                  std::size_t addBufferCapacity = 256,
+                  Tracer* tracer = nullptr);
 
   void addReadyTask(Task* task, std::size_t cpu) override;
   Task* getReadyTask(std::size_t cpu) override;

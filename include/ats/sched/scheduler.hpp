@@ -3,6 +3,8 @@
 #include <cstddef>
 #include <deque>
 
+#include "instr/tracer.hpp"
+
 namespace ats {
 
 struct Task;
@@ -11,14 +13,38 @@ struct Task;
 /// `cpu` is the caller's logical CPU index within the runtime's Topology;
 /// implementations may use it for SPSC buffer selection or NUMA affinity.
 /// `getReadyTask` is non-blocking: nullptr means "nothing ready now".
+///
+/// Every scheduler optionally carries a §5 Tracer.  The contract for
+/// emission sites (kept by all three designs here):
+///   * null-guard every emit, so the untraced configuration's hot paths
+///     compile to exactly what they were before the instr layer;
+///   * emit into the CALLER's stream (`cpu`) only — streams are
+///     single-writer;
+///   * emit only on bounded-frequency transitions (a successful serve,
+///     a non-empty drain, a contended add).  Never on per-poll outcomes:
+///     idle workers poll continuously and would saturate their rings
+///     with noise the analyzer then mistakes for the whole story.
 class Scheduler {
  public:
+  explicit Scheduler(Tracer* tracer = nullptr) : tracer_(tracer) {}
   virtual ~Scheduler() = default;
 
   virtual void addReadyTask(Task* task, std::size_t cpu) = 0;
   virtual Task* getReadyTask(std::size_t cpu) = 0;
 
   virtual const char* name() const = 0;
+
+ protected:
+  /// The one way drains are traced, shared by every buffered scheduler
+  /// so the event's semantics (caller's stream, payload = tasks moved,
+  /// silent when nothing moved) cannot drift per call site.  Feed it
+  /// `drainInto`'s return value: `emitDrain(cpu, buffers.drainInto(p))`.
+  void emitDrain(std::size_t cpu, std::size_t drained) {
+    if (tracer_ != nullptr && drained != 0)
+      tracer_->emit(cpu, TraceEvent::SchedDrain, drained);
+  }
+
+  Tracer* tracer_;  ///< null = untraced (the common case)
 };
 
 /// An *unsynchronized* ready-queue policy.  The paper's point in §3.2 is

@@ -24,8 +24,11 @@ namespace ats {
 ///     its own task, and serves the delegation queue before releasing.
 class SyncScheduler final : public Scheduler {
  public:
+  /// Traced variant emits SchedDrain per non-empty add-buffer drain and
+  /// SchedServe per task handed to a delegated waiter.
   SyncScheduler(Topology topo, std::unique_ptr<SchedulerPolicy> policy,
-                std::size_t addBufferCapacity = kDefaultAddBufferCapacity);
+                std::size_t addBufferCapacity = kDefaultAddBufferCapacity,
+                Tracer* tracer = nullptr);
 
   void addReadyTask(Task* task, std::size_t cpu) override;
   Task* getReadyTask(std::size_t cpu) override;
@@ -38,8 +41,9 @@ class SyncScheduler final : public Scheduler {
   static constexpr std::size_t kDefaultAddBufferCapacity = 256;
 
  private:
-  /// Answer queued getReadyTask delegations.  Caller must hold lock_.
-  void serveWaiters();
+  /// Answer queued getReadyTask delegations.  Caller must hold lock_;
+  /// `cpu` is the holder's slot (trace emissions go into its stream).
+  void serveWaiters(std::size_t cpu);
 
   Topology topo_;
   DTLock lock_;

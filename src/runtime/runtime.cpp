@@ -3,6 +3,7 @@
 #include <chrono>
 #include <mutex>
 
+#include "instr/tracer.hpp"
 #include "memory/pool_allocator.hpp"
 #include "memory/system_allocator.hpp"
 
@@ -45,6 +46,23 @@ void pinWorker(std::size_t cpu, std::size_t numWorkers) {
 }  // namespace
 
 Runtime::Runtime(RuntimeConfig config) : config_(std::move(config)) {
+  // Checked in release builds too (the submit/taskwait idiom): a tracer
+  // whose CPU-stream count disagrees with the topology misroutes
+  // emissions across the stream boundary — with fewer streams, worker
+  // slots land on the spawner/KERNEL streams and a live noise injector
+  // then shares a single-writer ring with a worker (a real data race);
+  // with more, the spawner slot lands in a worker stream and skews the
+  // starvation stats.  Tracer::emit only drop-counts out-of-range
+  // streams, so nothing downstream would fail loudly.
+  if (config_.tracer != nullptr &&
+      config_.tracer->numCpuStreams() != config_.topo.numCpus) {
+    std::fprintf(stderr,
+                 "ats::Runtime: tracer has %zu CPU streams but the topology "
+                 "has %zu CPUs — construct the Tracer with exactly "
+                 "topo.numCpus streams\n",
+                 config_.tracer->numCpuStreams(), config_.topo.numCpus);
+    std::abort();
+  }
   // §4: descriptors (and heap-spilled closures) come from the
   // configured allocator — the thread-caching pool for the optimized
   // runtime, plain operator new for the "w/o jemalloc" ablation.
@@ -161,24 +179,51 @@ void Runtime::readyThunk(void* ctx, DepTask* task, std::size_t cpu) {
 void Runtime::workerLoop(std::size_t cpu) {
   tlsCpu = cpu;
   pinWorker(cpu, config_.topo.numCpus);
+  // §5 emissions are edge-triggered (idle streak begin/end, task
+  // start/end), never per-poll, so a traced worker's event volume is
+  // O(tasks) — and every site is null-guarded, so the untraced loop is
+  // the PR-2 hot path unchanged.  Idle events carry a short hysteresis:
+  // a single missed poll between back-to-back fine-grained tasks is
+  // scheduling jitter, not starvation, and logging it would both drown
+  // the analyzer's idle statistics in sub-microsecond blips and double
+  // the traced run's event volume (the §5 overhead bound in
+  // EXPERIMENTS.md is measured with this in place).
+  constexpr std::size_t kIdleEmitStreak = 8;
+  Tracer* const tracer = config_.tracer;
   SpinWait waiter;
   std::size_t idleStreak = 0;
   while (!stop_.load(std::memory_order_acquire)) {
     Task* task = sched_->getReadyTask(cpu);
     if (task != nullptr) {
+      if (tracer != nullptr) {
+        if (idleStreak >= kIdleEmitStreak)
+          tracer->emit(cpu, TraceEvent::WorkerIdleEnd);
+        tracer->emit(cpu, TraceEvent::TaskStart,
+                     reinterpret_cast<std::uintptr_t>(task));
+      }
       waiter.reset();
       idleStreak = 0;
       task->run();
+      // The descriptor may already be reclaimed; the payload is the
+      // pointer VALUE (a correlation key for Start/End), never followed.
+      if (tracer != nullptr)
+        tracer->emit(cpu, TraceEvent::TaskEnd,
+                     reinterpret_cast<std::uintptr_t>(task));
     } else {
+      ++idleStreak;
+      if (tracer != nullptr && idleStreak == kIdleEmitStreak)
+        tracer->emit(cpu, TraceEvent::WorkerIdleBegin);
       waiter.spin();
       // Long-idle workers back off to a short sleep so oversubscribed
       // hosts (single-core CI) spend their timeslices on the threads
       // that still have work.
-      if (++idleStreak > 4096) {
+      if (idleStreak > 4096) {
         std::this_thread::sleep_for(std::chrono::microseconds(50));
       }
     }
   }
+  if (tracer != nullptr && idleStreak >= kIdleEmitStreak)
+    tracer->emit(cpu, TraceEvent::WorkerIdleEnd);
   tlsCpu = kNoCpu;
 }
 
@@ -195,12 +240,24 @@ void Runtime::taskwait() {
     std::abort();
   }
   const std::size_t cpu = spawnerCpu_;
+  // The spawner emits into its reserved stream (Tracer::spawnerStream).
+  // The analyzer's per-thread stats cover WORKER streams only, so
+  // spawner-helped tasks appear in the raw record listing (and the
+  // collected TaskStart/End totals) but not in any ThreadTraceStats —
+  // worker tasksExecuted summing below the spawn count is expected.
+  Tracer* const tracer = config_.tracer;
   SpinWait waiter;
   while (inFlight_.load(std::memory_order_acquire) != 0) {
     Task* task = sched_->getReadyTask(cpu);
     if (task != nullptr) {
+      if (tracer != nullptr)
+        tracer->emit(cpu, TraceEvent::TaskStart,
+                     reinterpret_cast<std::uintptr_t>(task));
       waiter.reset();
       task->run();
+      if (tracer != nullptr)
+        tracer->emit(cpu, TraceEvent::TaskEnd,
+                     reinterpret_cast<std::uintptr_t>(task));
     } else {
       waiter.spin();
     }

@@ -9,15 +9,17 @@ namespace ats {
 std::unique_ptr<Scheduler> makeScheduler(const RuntimeConfig& config) {
   switch (config.scheduler) {
     case SchedulerKind::CentralMutex:
-      return std::make_unique<CentralMutexScheduler>(config.topo);
+      return std::make_unique<CentralMutexScheduler>(
+          config.topo, std::make_unique<FifoScheduler>(), config.tracer);
     case SchedulerKind::PTLockCentral:
       return std::make_unique<PTLockScheduler>(
-          config.topo, std::make_unique<FifoScheduler>());
+          config.topo, std::make_unique<FifoScheduler>(),
+          config.addBufferCapacity, config.tracer);
     case SchedulerKind::SyncDelegation:
     case SchedulerKind::WorkStealing:
-      return std::make_unique<SyncScheduler>(config.topo,
-                                             std::make_unique<FifoScheduler>(),
-                                             config.addBufferCapacity);
+      return std::make_unique<SyncScheduler>(
+          config.topo, std::make_unique<FifoScheduler>(),
+          config.addBufferCapacity, config.tracer);
   }
   return nullptr;
 }

@@ -2,15 +2,33 @@
 
 #include <utility>
 
+#include "instr/tracer.hpp"
+
 namespace ats {
 
 CentralMutexScheduler::CentralMutexScheduler(
-    Topology topo, std::unique_ptr<SchedulerPolicy> policy)
-    : topo_(std::move(topo)),
+    Topology topo, std::unique_ptr<SchedulerPolicy> policy, Tracer* tracer)
+    : Scheduler(tracer),
+      topo_(std::move(topo)),
       policy_(policy != nullptr ? std::move(policy)
                                 : std::make_unique<FifoScheduler>()) {}
 
 void CentralMutexScheduler::addReadyTask(Task* task, std::size_t cpu) {
+  // The contention probe (try first, log, then block) runs ONLY under a
+  // live tracer: the untraced baseline must keep the plain blocking
+  // lock it has always been measured with — this scheduler IS the
+  // serial-insertion curve, so adding even a failed try_lock CAS to its
+  // untraced path would shift the figure it anchors.  Adds are bounded
+  // by task count, so the traced probe cannot flood the ring.
+  if (tracer_ != nullptr) {
+    std::unique_lock<std::mutex> guard(mutex_, std::try_to_lock);
+    if (!guard.owns_lock()) {
+      tracer_->emit(cpu, TraceEvent::SchedLockContended, cpu);
+      guard.lock();
+    }
+    policy_->addTask(task, cpu);
+    return;
+  }
   std::lock_guard<std::mutex> guard(mutex_);
   policy_->addTask(task, cpu);
 }

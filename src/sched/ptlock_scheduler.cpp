@@ -4,14 +4,18 @@
 #include <cassert>
 #include <utility>
 
+#include "instr/tracer.hpp"
+
 namespace ats {
 
 PTLockScheduler::PTLockScheduler(Topology topo,
                                  std::unique_ptr<SchedulerPolicy> policy,
-                                 std::size_t addBufferCapacity)
+                                 std::size_t addBufferCapacity,
+                                 Tracer* tracer)
     // Waiting-array slots must cover every thread that can contend; size
     // for at least the topology and leave headroom for oversubscription.
-    : topo_(std::move(topo)),
+    : Scheduler(tracer),
+      topo_(std::move(topo)),
       lock_(std::max<std::size_t>(64, topo_.numCpus * 2)),
       policy_(std::move(policy)),
       addBuffers_(topo_.numCpus, addBufferCapacity) {}
@@ -25,12 +29,20 @@ void PTLockScheduler::addReadyTask(Task* task, std::size_t cpu) {
   // (a preempted adder's queued ticket would lock every poller out for
   // whole timeslices on a timeshared host).
   SpinWait w;
+  bool contendedLogged = false;
   while (!addBuffers_.tryPush(task, cpu)) {
     if (lock_.tryLock()) {
-      addBuffers_.drainInto(*policy_);
+      emitDrain(cpu, addBuffers_.drainInto(*policy_));
       policy_->addTask(task, cpu);
       lock_.unlock();
       return;
+    }
+    // The add-side contention event of fig10: a full buffer AND a busy
+    // lock means the creating core is stuck behind whoever holds it.
+    // Once per episode — the retry loop itself spins at poll frequency.
+    if (tracer_ != nullptr && !contendedLogged) {
+      tracer_->emit(cpu, TraceEvent::SchedLockContended, cpu);
+      contendedLogged = true;
     }
     w.spin();
   }
@@ -40,9 +52,11 @@ Task* PTLockScheduler::getReadyTask(std::size_t cpu) {
   // Non-blocking poll, per the Scheduler contract: a failed tryLock is
   // externally indistinguishable from an empty queue.  Without
   // delegation this is the best a waiter can do — walk away and retry —
-  // and that wasted poll is precisely the cost the DTLock removes.
+  // and that wasted poll is precisely the cost the DTLock removes.  No
+  // contention event here: get-side lock misses happen at poll frequency
+  // and the starvation they cause is already visible as WorkerIdle*.
   if (!lock_.tryLock()) return nullptr;
-  addBuffers_.drainInto(*policy_);
+  emitDrain(cpu, addBuffers_.drainInto(*policy_));
   Task* task = policy_->getTask(cpu);
   lock_.unlock();
   return task;

@@ -4,12 +4,15 @@
 #include <cassert>
 #include <utility>
 
+#include "instr/tracer.hpp"
+
 namespace ats {
 
 SyncScheduler::SyncScheduler(Topology topo,
                              std::unique_ptr<SchedulerPolicy> policy,
-                             std::size_t addBufferCapacity)
-    : topo_(std::move(topo)),
+                             std::size_t addBufferCapacity, Tracer* tracer)
+    : Scheduler(tracer),
+      topo_(std::move(topo)),
       lock_(std::max<std::size_t>(64, topo_.numCpus * 2),
             std::max<std::size_t>(64, topo_.numCpus)),
       policy_(std::move(policy)),
@@ -26,9 +29,9 @@ void SyncScheduler::addReadyTask(Task* task, std::size_t cpu) {
   // the delegation queue and are retired in one combined burst when the
   // adder enters, instead of each needing its own lock hand-off.
   lock_.lock();
-  addBuffers_.drainInto(*policy_);
+  emitDrain(cpu, addBuffers_.drainInto(*policy_));
   policy_->addTask(task, cpu);
-  serveWaiters();
+  serveWaiters(cpu);
   lock_.unlock();
 }
 
@@ -38,14 +41,14 @@ Task* SyncScheduler::getReadyTask(std::size_t cpu) {
   if (!lock_.lockOrDelegate(cpu, item)) {
     return reinterpret_cast<Task*>(item);  // served by the lock holder
   }
-  addBuffers_.drainInto(*policy_);
+  emitDrain(cpu, addBuffers_.drainInto(*policy_));
   Task* task = policy_->getTask(cpu);
-  serveWaiters();
+  serveWaiters(cpu);
   lock_.unlock();
   return task;
 }
 
-void SyncScheduler::serveWaiters() {
+void SyncScheduler::serveWaiters(std::size_t cpu) {
   // Each thread has at most one outstanding request, but a served waiter
   // can requeue while we still hold the lock; cap the combining burst so
   // the holder's own latency stays bounded.
@@ -55,9 +58,14 @@ void SyncScheduler::serveWaiters() {
     Task* task = policy_->getTask(static_cast<std::size_t>(waiterCpu));
     if (task == nullptr) {
       // Refill before answering "nothing ready".
-      addBuffers_.drainInto(*policy_);
+      emitDrain(cpu, addBuffers_.drainInto(*policy_));
       task = policy_->getTask(static_cast<std::size_t>(waiterCpu));
     }
+    // Only actual hand-offs are trace-worthy: idle waiters re-delegate
+    // continuously, and logging every empty answer would saturate the
+    // holder's ring with "nothing happened" (see the Scheduler contract).
+    if (tracer_ != nullptr && task != nullptr)
+      tracer_->emit(cpu, TraceEvent::SchedServe, waiterCpu);
     lock_.serve(reinterpret_cast<std::uintptr_t>(task));
   }
 }

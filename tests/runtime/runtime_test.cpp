@@ -260,7 +260,7 @@ TEST(RuntimeConfigTest, MachinePresetConfigsShareConsistentDefaults) {
     EXPECT_EQ(config->deps, reference.deps);
     EXPECT_EQ(config->usePoolAllocator, reference.usePoolAllocator);
     EXPECT_EQ(config->addBufferCapacity, reference.addBufferCapacity);
-    EXPECT_EQ(config->enableTracing, reference.enableTracing);
+    EXPECT_EQ(config->tracer, reference.tracer);  // factories never attach one
   }
   EXPECT_EQ(xeon.topo.preset, MachinePreset::Xeon);
   EXPECT_EQ(rome.topo.preset, MachinePreset::Rome);
