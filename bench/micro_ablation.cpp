@@ -16,6 +16,7 @@
 #include <benchmark/benchmark.h>
 
 #include "runtime/runtime.hpp"
+#include "sched/policies.hpp"
 
 namespace {
 
@@ -48,12 +49,18 @@ BENCHMARK(BM_SpscCapacity)
     ->Unit(benchmark::kMillisecond);
 
 void BM_AddBufferLayout(benchmark::State& state) {
-  // Rome preset shape at kThreads workers: range(0)==1 keeps the preset's
-  // multi-domain layout (one SPSC per domain), 0 collapses to one domain
-  // (single shared buffer).
+  // Ready-queue layout under the NUMA-aware policy, Rome preset shape
+  // at kThreads workers: range(0)==1 keeps the preset's multi-domain
+  // layout (one ready FIFO per domain, local-first), 0 collapses to a
+  // single domain (one shared FIFO).  The domain count feeds
+  // NumaFifoPolicy — under the default Fifo policy both shapes are
+  // byte-identical, so the sweep pins the policy explicitly.  (Per-NUMA
+  // *add-buffer* sharding is still one-SPSC-per-slot either way; see
+  // ROADMAP.)
   Topology topo = makeTopology(MachinePreset::Rome, kThreads);
   if (state.range(0) == 0) topo.numNumaDomains = 1;
   RuntimeConfig cfg = optimizedConfig(topo);
+  cfg.policy = PolicyKind::NumaFifo;
   runWorkload(state, cfg);
 }
 BENCHMARK(BM_AddBufferLayout)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
@@ -71,28 +78,46 @@ BENCHMARK(BM_Policy)
     ->Unit(benchmark::kMillisecond);
 
 void BM_SchedulerKind(benchmark::State& state) {
-  // All five scheduler architectures on identical deps/alloc: SyncDTLock,
-  // PTLockCentral, WorkStealing, CentralMutex, Hierarchical (§7).
+  // The scheduler architectures on identical deps/alloc.  WorkStealing
+  // still maps onto the delegation scheduler in makeScheduler (the
+  // documented fig7-9 stand-in); the old "Hierarchical" (§7) spelling
+  // named a design this repo never grew and is dropped from the sweep.
   RuntimeConfig cfg = optimizedConfig(makeTopology(MachinePreset::Host,
                                                    kThreads));
   cfg.scheduler = static_cast<SchedulerKind>(state.range(0));
   runWorkload(state, cfg);
 }
 BENCHMARK(BM_SchedulerKind)
-    ->Arg(int(SchedulerKind::SyncDTLock))
+    ->Arg(int(SchedulerKind::SyncDelegation))
     ->Arg(int(SchedulerKind::PTLockCentral))
     ->Arg(int(SchedulerKind::WorkStealing))
     ->Arg(int(SchedulerKind::CentralMutex))
-    ->Arg(int(SchedulerKind::Hierarchical))
     ->Unit(benchmark::kMillisecond);
 
 void BM_ServeMode(benchmark::State& state) {
+  // batch=0: Listing-5 serve-one; batch=1: §8 flat-combining batched
+  // serve (the default).  The contended chain workload is where the
+  // batch pays: every worker delegates continuously while the chain
+  // serializes execution.  Expect batch >= serve-one (within noise on
+  // 1-core hosts; see EXPERIMENTS.md).
   RuntimeConfig cfg = optimizedConfig(makeTopology(MachinePreset::Host,
                                                    kThreads));
   cfg.schedBatchServe = state.range(0) != 0;
   runWorkload(state, cfg);
 }
 BENCHMARK(BM_ServeMode)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_ServeBurst(benchmark::State& state) {
+  // Burst-cap sweep for the batched serve: 1 degenerates to serve-one
+  // cost plus the snapshot, 64 is kMaxServeBurst.
+  RuntimeConfig cfg = optimizedConfig(makeTopology(MachinePreset::Host,
+                                                   kThreads));
+  cfg.serveBurst = static_cast<std::size_t>(state.range(0));
+  runWorkload(state, cfg);
+}
+BENCHMARK(BM_ServeBurst)
+    ->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

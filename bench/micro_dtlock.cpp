@@ -10,7 +10,10 @@
 //   serial_mutex  — every add and get under one OS mutex, tasks inserted
 //                   serially by the creator (the "serial insertion" base)
 //   ptlock        — PTLock-protected central scheduler ("w/o DTLock")
-//   dtlock_spsc   — SPSC add-buffers + DTLock delegation (the paper's)
+//   dtlock_spsc   — SPSC add-buffers + DTLock delegation with the §8
+//                   flat-combining batched serve (the optimized default)
+//   dtlock_spsc_serve1 — same scheduler, Listing-5 serve-one ablation
+//                   (the pre-batching baseline; keep >= its old numbers)
 //
 // On a many-core host the ratios should approach the paper's 4x / 12x;
 // on a timeshared single-core host the gaps compress (EXPERIMENTS.md).
@@ -20,6 +23,7 @@
 
 #include "common/topology.hpp"
 #include "sched/central_mutex_scheduler.hpp"
+#include "sched/policies.hpp"
 #include "sched/ptlock_scheduler.hpp"
 #include "sched/sync_scheduler.hpp"
 #include "runtime/task.hpp"
@@ -65,14 +69,21 @@ void BM_Sched_SerialMutex(benchmark::State& state) {
 
 void BM_Sched_PTLock(benchmark::State& state) {
   static PTLockScheduler sched(benchTopo(),
-                               std::make_unique<FifoScheduler>());
+                               std::make_unique<FifoPolicy>());
   static std::vector<Task> pool(4096);
   schedulerFlood(state, sched, pool);
 }
 
 void BM_Sched_DTLockSpsc(benchmark::State& state) {
   static SyncScheduler sched(benchTopo(),
-                             std::make_unique<FifoScheduler>());
+                             std::make_unique<FifoPolicy>());
+  static std::vector<Task> pool(4096);
+  schedulerFlood(state, sched, pool);
+}
+
+void BM_Sched_DTLockSpscServe1(benchmark::State& state) {
+  static SyncScheduler sched(benchTopo(), std::make_unique<FifoPolicy>(),
+                             SyncScheduler::Options{.batchServe = false});
   static std::vector<Task> pool(4096);
   schedulerFlood(state, sched, pool);
 }
@@ -82,5 +93,6 @@ void BM_Sched_DTLockSpsc(benchmark::State& state) {
 BENCHMARK(BM_Sched_SerialMutex)->Threads(kConsumers + 1)->UseRealTime();
 BENCHMARK(BM_Sched_PTLock)->Threads(kConsumers + 1)->UseRealTime();
 BENCHMARK(BM_Sched_DTLockSpsc)->Threads(kConsumers + 1)->UseRealTime();
+BENCHMARK(BM_Sched_DTLockSpscServe1)->Threads(kConsumers + 1)->UseRealTime();
 
 BENCHMARK_MAIN();

@@ -87,7 +87,7 @@ int selftest() {
   tracer.emit(0, TraceEvent::WorkerIdleEnd);
   tracer.emit(0, TraceEvent::TaskStart, 0x1000);
   tracer.emit(tracer.kernelStream(), TraceEvent::KernelIrqEnter, 0);
-  tracer.emit(1, TraceEvent::SchedServe, 0);
+  tracer.emit(1, TraceEvent::SchedServe, 1);  // payload: burst hand-off count
   tracer.emit(tracer.kernelStream(), TraceEvent::KernelIrqExit, 0);
   tracer.emit(0, TraceEvent::TaskEnd, 0x1000);
   tracer.emit(tracer.spawnerStream(), TraceEvent::TaskStart, 0x2000);

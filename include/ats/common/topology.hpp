@@ -22,8 +22,22 @@ struct Topology {
   std::size_t cacheLineBytes = 64;
   MachinePreset preset = MachinePreset::Host;
 
+  /// Extra per-thread scheduler slots beyond the real CPUs — the
+  /// Runtime reserves one for the spawner.  Kept OUT of numCpus so the
+  /// NUMA domain math below stays anchored to the physical layout: a
+  /// reserved slot is not a core, and folding it into numCpus would
+  /// shift cpusPerDomain and misclassify real workers (slot indices
+  /// fold into a domain via the `cpu % numCpus` below instead).
+  std::size_t reservedSlots = 0;
+
+  /// Per-thread structure count schedulers size from (SPSC buffers,
+  /// DTLock result slots): every worker plus every reserved slot.
+  std::size_t slotCount() const { return numCpus + reservedSlots; }
+
   /// Domain owning `cpu`, assuming the block-cyclic layout every preset
   /// machine uses (consecutive CPUs fill a domain before the next).
+  /// Accepts any slot index: reserved slots fold onto a real CPU's
+  /// domain via the modulo.
   std::size_t numaDomainOf(std::size_t cpu) const {
     const std::size_t perDomain = cpusPerDomain();
     const std::size_t domain = (cpu % numCpus) / perDomain;

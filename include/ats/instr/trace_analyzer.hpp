@@ -26,7 +26,8 @@ struct TraceAnalysis {
   std::uint64_t recordCount = 0;
   double meanIdlePct = 0;     ///< mean starvation over worker streams
 
-  std::uint64_t serveCount = 0;    ///< SchedServe events (actual hand-offs)
+  std::uint64_t serveCount = 0;    ///< SchedServe events (serve bursts)
+  std::uint64_t servedTasks = 0;   ///< sum of SchedServe payloads (hand-offs)
   std::uint64_t drainCount = 0;    ///< SchedDrain events
   std::uint64_t drainedTasks = 0;  ///< sum of SchedDrain payloads
   std::uint64_t contendedCount = 0;  ///< SchedLockContended events

@@ -13,7 +13,7 @@ namespace ats {
 enum class TraceEvent : std::uint16_t {
   TaskStart = 1,       ///< payload: task descriptor address
   TaskEnd = 2,         ///< payload: task descriptor address
-  SchedServe = 3,      ///< lock holder handed a task to a waiter; payload: waiter CPU
+  SchedServe = 3,      ///< lock holder answered delegated waiters; payload: tasks handed off in the burst (1 in serve-one mode)
   SchedDrain = 4,      ///< add-buffers drained into the policy; payload: tasks moved
   SchedLockContended = 5,  ///< an ADD found the central lock busy; payload: CPU
   WorkerIdleBegin = 6,     ///< first empty poll of an idle streak

@@ -18,7 +18,12 @@ namespace ats {
 /// `ATS_TRACE_DIR` (see EXPERIMENTS.md); both are gitignored.
 struct TraceWriter {
   static constexpr char kMagic[8] = {'A', 'T', 'S', 'T', 'R', 'C', '1', 0};
-  static constexpr std::uint32_t kVersion = 1;
+  /// v2: SchedServe payload became "tasks handed off in the burst"
+  /// (was: waiter CPU).  The record layout is unchanged, but a v1
+  /// file's serve payloads would silently corrupt the analyzer's
+  /// servedTasks sum, so the version gate makes stale traces fail
+  /// loudly instead.
+  static constexpr std::uint32_t kVersion = 2;
 
   /// Fixed 24-byte file header preceding the record array.
   struct BinaryHeader {

@@ -4,6 +4,7 @@
 
 #include "common/topology.hpp"
 #include "deps/dependency_system.hpp"  // DepsKind lives in the deps layer
+#include "sched/policy_kind.hpp"       // PolicyKind (enum only, no policies)
 
 namespace ats {
 
@@ -28,8 +29,23 @@ struct RuntimeConfig {
   /// role); false = plain system malloc.
   bool usePoolAllocator = true;
 
-  /// Slots in each per-CPU SPSC add-buffer (SyncDelegation only).
-  std::size_t addBufferCapacity = 256;
+  /// Ready-queue policy behind the serialized schedulers (§3.2's
+  /// extensibility, micro_ablation's BM_Policy sweep).
+  PolicyKind policy = PolicyKind::Fifo;
+
+  /// Flat-combining batched delegation serve (§8) — the optimized
+  /// configuration and the default; false selects the Listing-5
+  /// serve-one baseline (micro_ablation's BM_ServeMode ablation).
+  bool schedBatchServe = true;
+
+  /// Most delegated waiters answered per combining batch (clamped to
+  /// SyncScheduler::kMaxServeBurst).
+  std::size_t serveBurst = 16;
+
+  /// Slots in each per-CPU SPSC add-buffer (SyncDelegation and
+  /// PTLockCentral).  Reconciled name — older code and docs said
+  /// `addBufferCapacity`.
+  std::size_t spscCapacity = 256;
 
   /// Instrumentation backend (§5): the per-CPU ring tracer the runtime
   /// and scheduler emit into, or nullptr (the default) for the untraced

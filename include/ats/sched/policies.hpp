@@ -1,0 +1,158 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/topology.hpp"
+#include "sched/policy_kind.hpp"
+#include "sched/scheduler.hpp"
+
+namespace ats {
+
+/// Global FIFO ready queue — the default policy for every scheduler
+/// design in this repo.
+class FifoPolicy final : public SchedulerPolicy {
+ public:
+  void addTask(Task* task, std::size_t /*cpu*/) override {
+    ready_.push_back(task);
+  }
+
+  Task* getTask(std::size_t /*cpu*/) override {
+    if (ready_.empty()) return nullptr;
+    Task* task = ready_.front();
+    ready_.pop_front();
+    return task;
+  }
+
+  std::size_t getTasks(Task** out, std::size_t n,
+                       std::size_t /*cpu*/) override {
+    const std::size_t got = n < ready_.size() ? n : ready_.size();
+    for (std::size_t i = 0; i < got; ++i) {
+      out[i] = ready_.front();
+      ready_.pop_front();
+    }
+    return got;
+  }
+
+  const char* policyName() const override { return "fifo"; }
+
+ private:
+  std::deque<Task*> ready_;
+};
+
+/// Global LIFO stack: newest-ready-first.  Depth-first execution keeps
+/// the data a just-finished task touched hot in cache at the cost of
+/// fairness — old tasks can starve while new ones keep arriving, which
+/// is exactly the trade-off BM_Policy prices.
+class LifoPolicy final : public SchedulerPolicy {
+ public:
+  void addTask(Task* task, std::size_t /*cpu*/) override {
+    ready_.push_back(task);
+  }
+
+  Task* getTask(std::size_t /*cpu*/) override {
+    if (ready_.empty()) return nullptr;
+    Task* task = ready_.back();
+    ready_.pop_back();
+    return task;
+  }
+
+  std::size_t getTasks(Task** out, std::size_t n,
+                       std::size_t /*cpu*/) override {
+    const std::size_t got = n < ready_.size() ? n : ready_.size();
+    for (std::size_t i = 0; i < got; ++i) {
+      out[i] = ready_.back();
+      ready_.pop_back();
+    }
+    return got;
+  }
+
+  const char* policyName() const override { return "lifo"; }
+
+ private:
+  std::vector<Task*> ready_;
+};
+
+/// Per-NUMA-domain FIFOs, local domain first (§3.1's "one per core...
+/// one per NUMA node" layout applied to the ready queue).  Adds land in
+/// the enqueuing CPU's domain; a getter drains its own domain before
+/// round-robining the remote ones, so under load tasks execute where
+/// their producer's data lives and remote pulls only happen instead of
+/// idling.  Within one domain the order stays FIFO.
+class NumaFifoPolicy final : public SchedulerPolicy {
+ public:
+  explicit NumaFifoPolicy(const Topology& topo) : topo_(topo) {
+    // Normalize the STORED topology, not just the queue count: domainOf
+    // feeds every cpu through topo_.numaDomainOf, whose per-domain math
+    // divides by both fields — a zero-domain (or zero-CPU) hand-built
+    // Topology must degrade to one global FIFO, not to UB.
+    if (topo_.numNumaDomains < 1) topo_.numNumaDomains = 1;
+    if (topo_.numCpus < 1) topo_.numCpus = 1;
+    domains_.resize(topo_.numNumaDomains);
+  }
+
+  void addTask(Task* task, std::size_t cpu) override {
+    domains_[domainOf(cpu)].push_back(task);
+  }
+
+  Task* getTask(std::size_t cpu) override {
+    const std::size_t home = domainOf(cpu);
+    for (std::size_t i = 0; i < domains_.size(); ++i) {
+      auto& queue = domains_[(home + i) % domains_.size()];
+      if (!queue.empty()) {
+        Task* task = queue.front();
+        queue.pop_front();
+        return task;
+      }
+    }
+    return nullptr;
+  }
+
+  std::size_t getTasks(Task** out, std::size_t n, std::size_t cpu) override {
+    const std::size_t home = domainOf(cpu);
+    std::size_t got = 0;
+    for (std::size_t i = 0; i < domains_.size() && got < n; ++i) {
+      auto& queue = domains_[(home + i) % domains_.size()];
+      while (got < n && !queue.empty()) {
+        out[got++] = queue.front();
+        queue.pop_front();
+      }
+    }
+    return got;
+  }
+
+  const char* policyName() const override { return "numa_fifo"; }
+
+ private:
+  std::size_t domainOf(std::size_t cpu) const {
+    // The scheduler's topology may carry reserved slots beyond the real
+    // CPUs (the Runtime's spawner slot); numaDomainOf folds any slot
+    // index onto a real CPU's domain via `cpu % numCpus`, so the
+    // spawner (slot numCpus) simply shares domain 0's queue and the
+    // worker CPU->domain map stays the physical block-cyclic one.
+    const std::size_t domain = topo_.numaDomainOf(cpu);
+    return domain < domains_.size() ? domain : domains_.size() - 1;
+  }
+
+  Topology topo_;
+  std::vector<std::deque<Task*>> domains_;
+};
+
+/// Build the policy a PolicyKind names.  `topo` must be the same shape
+/// the owning scheduler is constructed with (NumaFifo sizes its queues
+/// from it; the others ignore it).
+inline std::unique_ptr<SchedulerPolicy> makePolicy(PolicyKind kind,
+                                                   const Topology& topo) {
+  switch (kind) {
+    case PolicyKind::Fifo: return std::make_unique<FifoPolicy>();
+    case PolicyKind::Lifo: return std::make_unique<LifoPolicy>();
+    case PolicyKind::NumaFifo: return std::make_unique<NumaFifoPolicy>(topo);
+  }
+  assert(false && "unknown PolicyKind");
+  return std::make_unique<FifoPolicy>();
+}
+
+}  // namespace ats

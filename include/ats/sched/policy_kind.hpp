@@ -1,0 +1,27 @@
+#pragma once
+
+namespace ats {
+
+/// The ready-queue policies pluggable into the serialized schedulers —
+/// §3.2's extensibility argument made sweepable (micro_ablation's
+/// BM_Policy).  Values are stable: benches pass them as integer args.
+/// Split from policies.hpp so RuntimeConfig can name a policy without
+/// pulling the policy implementations (and their containers) into
+/// every translation unit that touches a config.
+enum class PolicyKind {
+  Fifo = 0,      ///< one global FIFO (the paper's default)
+  Lifo = 1,      ///< one global LIFO stack (depth-first, cache-warm)
+  NumaFifo = 2,  ///< per-NUMA-domain FIFOs, local domain first
+};
+
+/// Lower-case tag for bench/table headers ("fifo", "lifo", "numa_fifo").
+constexpr const char* policyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::Fifo: return "fifo";
+    case PolicyKind::Lifo: return "lifo";
+    case PolicyKind::NumaFifo: return "numa_fifo";
+  }
+  return "unknown";
+}
+
+}  // namespace ats

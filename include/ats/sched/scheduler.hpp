@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
 
 #include "instr/tracer.hpp"
 
@@ -51,6 +50,7 @@ class Scheduler {
 /// that once the DTLock serializes access, the policy inside can be
 /// written as plain single-threaded code and swapped freely (FIFO, LIFO,
 /// NUMA-aware...).  Callers guarantee mutual exclusion.
+/// The concrete policies live in sched/policies.hpp behind PolicyKind.
 class SchedulerPolicy {
  public:
   virtual ~SchedulerPolicy() = default;
@@ -58,28 +58,23 @@ class SchedulerPolicy {
   virtual void addTask(Task* task, std::size_t cpu) = 0;
   virtual Task* getTask(std::size_t cpu) = 0;
 
+  /// Pull up to `n` tasks into `out` in one pass — the bulk form the
+  /// batched delegation serve uses, so a combining burst costs the
+  /// policy one call instead of one virtual dispatch per waiter.
+  /// Returns how many were delivered (< n means the queue ran dry).
+  /// The default loops over getTask; policies override with real bulk
+  /// pops.  Same ordering contract as repeated getTask(cpu) calls.
+  virtual std::size_t getTasks(Task** out, std::size_t n, std::size_t cpu) {
+    std::size_t got = 0;
+    while (got < n) {
+      Task* task = getTask(cpu);
+      if (task == nullptr) break;
+      out[got++] = task;
+    }
+    return got;
+  }
+
   virtual const char* policyName() const = 0;
-};
-
-/// Global FIFO ready queue — the default policy for every scheduler
-/// design in this repo until the NUMA-aware policies land.
-class FifoScheduler final : public SchedulerPolicy {
- public:
-  void addTask(Task* task, std::size_t /*cpu*/) override {
-    ready_.push_back(task);
-  }
-
-  Task* getTask(std::size_t /*cpu*/) override {
-    if (ready_.empty()) return nullptr;
-    Task* task = ready_.front();
-    ready_.pop_front();
-    return task;
-  }
-
-  const char* policyName() const override { return "fifo"; }
-
- private:
-  std::deque<Task*> ready_;
 };
 
 }  // namespace ats

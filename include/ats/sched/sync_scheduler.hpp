@@ -9,6 +9,27 @@
 
 namespace ats {
 
+/// SyncScheduler's construction-time knobs; mirrored by RuntimeConfig
+/// and swept by micro_ablation.  (Namespace-scope rather than nested:
+/// a nested aggregate's member initializers cannot feed a default
+/// argument of the enclosing class under GCC.)
+struct SyncSchedulerOptions {
+  /// §3.1: "can be configured from a single one to one per core".  The
+  /// paper's Listing 5 hardcodes 100; we default to the next power of
+  /// two up.  micro_ablation sweeps this.
+  static constexpr std::size_t kDefaultSpscCapacity = 256;
+  /// Most waiters a single combining batch answers.  Also the burst's
+  /// policy-pull bound, and the stack-array size the serve loop uses —
+  /// more waiters than this simply take another batch within the same
+  /// lock hold.
+  static constexpr std::size_t kDefaultServeBurst = 16;
+  static constexpr std::size_t kMaxServeBurst = 64;
+
+  std::size_t spscCapacity = kDefaultSpscCapacity;
+  bool batchServe = true;  ///< false = serve-one ablation baseline
+  std::size_t serveBurst = kDefaultServeBurst;  ///< clamped to kMaxServeBurst
+};
+
 /// The paper's scheduler (§3): per-CPU wait-free SPSC add-buffers in
 /// front of a single policy object, everything serialized by a DTLock.
 ///
@@ -22,33 +43,50 @@ namespace ats {
 ///     the lock, never drains, never touches the policy's cache lines.
 ///     Whichever thread does hold the lock drains the add-buffers, takes
 ///     its own task, and serves the delegation queue before releasing.
+///
+/// Serving runs in one of two modes, fixed at construction
+/// (micro_ablation's BM_ServeMode):
+///   * batched (default, §8 flat combining): the holder snapshots a run
+///     of queued requests with one `popWaiters` pass, pulls up to
+///     `serveBurst` tasks from the policy in one `getTasks` call, and
+///     publishes every answer behind a single release fence
+///     (`serveBatch`).  Add-buffers are refilled at most once per
+///     combining burst.
+///   * serve-one (Listing 5, the ablation baseline): one policy lookup
+///     and one release store per popped waiter.
 class SyncScheduler final : public Scheduler {
  public:
+  using Options = SyncSchedulerOptions;
+  static constexpr std::size_t kDefaultSpscCapacity =
+      Options::kDefaultSpscCapacity;
+  static constexpr std::size_t kDefaultServeBurst =
+      Options::kDefaultServeBurst;
+  static constexpr std::size_t kMaxServeBurst = Options::kMaxServeBurst;
+
   /// Traced variant emits SchedDrain per non-empty add-buffer drain and
-  /// SchedServe per task handed to a delegated waiter.
+  /// one SchedServe per serve burst with the hand-off count as payload
+  /// (serve-one mode emits per hand-off, count 1).
   SyncScheduler(Topology topo, std::unique_ptr<SchedulerPolicy> policy,
-                std::size_t addBufferCapacity = kDefaultAddBufferCapacity,
-                Tracer* tracer = nullptr);
+                Options options = {}, Tracer* tracer = nullptr);
 
   void addReadyTask(Task* task, std::size_t cpu) override;
   Task* getReadyTask(std::size_t cpu) override;
 
   const char* name() const override { return "sync_dtlock"; }
 
-  /// §3.1: "can be configured from a single one to one per core".  The
-  /// paper's Listing 5 hardcodes 100; we default to the next power of two
-  /// up.  micro_ablation sweeps this.
-  static constexpr std::size_t kDefaultAddBufferCapacity = 256;
-
  private:
   /// Answer queued getReadyTask delegations.  Caller must hold lock_;
   /// `cpu` is the holder's slot (trace emissions go into its stream).
   void serveWaiters(std::size_t cpu);
+  void serveWaitersBatched(std::size_t cpu, std::size_t maxServes);
+  void serveWaitersOneByOne(std::size_t cpu, std::size_t maxServes);
 
   Topology topo_;
   DTLock lock_;
   std::unique_ptr<SchedulerPolicy> policy_;
   AddBufferSet addBuffers_;
+  const bool batchServe_;
+  const std::size_t serveBurst_;
 };
 
 }  // namespace ats

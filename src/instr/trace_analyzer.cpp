@@ -137,6 +137,7 @@ TraceAnalysis analyzeTrace(const std::vector<TraceRecord>& records,
     switch (r.event) {
       case TraceEvent::SchedServe:
         ++analysis.serveCount;
+        analysis.servedTasks += r.payload;
         serveTimes.push_back(r.timeNs);
         break;
       case TraceEvent::SchedDrain:
@@ -217,9 +218,10 @@ std::string formatAnalysis(const TraceAnalysis& analysis) {
     text += line;
   }
   std::snprintf(line, sizeof(line),
-                "  serves=%llu drains=%llu drained_tasks=%llu "
-                "contended=%llu\n",
+                "  serves=%llu served_tasks=%llu drains=%llu "
+                "drained_tasks=%llu contended=%llu\n",
                 static_cast<unsigned long long>(analysis.serveCount),
+                static_cast<unsigned long long>(analysis.servedTasks),
                 static_cast<unsigned long long>(analysis.drainCount),
                 static_cast<unsigned long long>(analysis.drainedTasks),
                 static_cast<unsigned long long>(analysis.contendedCount));

@@ -72,12 +72,15 @@ Runtime::Runtime(RuntimeConfig config) : config_(std::move(config)) {
 
   // The scheduler gets one slot per worker plus the reserved spawner
   // slot, so every thread that touches it is a distinct SPSC producer
-  // and DTLock delegator.
+  // and DTLock delegator.  Reserved via Topology::reservedSlots, NOT by
+  // inflating numCpus: the NUMA-aware policy derives its CPU->domain
+  // map from numCpus, and a phantom extra "CPU" would shift
+  // cpusPerDomain and misclassify real workers.
   spawnerCpu_ = config_.topo.numCpus;
   descriptorDelta_ =
       std::make_unique<DescriptorDelta[]>(config_.topo.numCpus + 1);
   RuntimeConfig schedConfig = config_;
-  schedConfig.topo.numCpus = config_.topo.numCpus + 1;
+  schedConfig.topo.reservedSlots = config_.topo.reservedSlots + 1;
   sched_ = makeScheduler(schedConfig);
   deps_ = makeDependencySystem(config_.deps, ReadySink{&readyThunk, this});
 

@@ -1,25 +1,31 @@
 #include "runtime/scheduler_factory.hpp"
 
 #include "sched/central_mutex_scheduler.hpp"
+#include "sched/policies.hpp"
 #include "sched/ptlock_scheduler.hpp"
 #include "sched/sync_scheduler.hpp"
 
 namespace ats {
 
 std::unique_ptr<Scheduler> makeScheduler(const RuntimeConfig& config) {
+  // Every design runs the same configured policy object, so policy
+  // sweeps compare policies, not scheduler substrates.
   switch (config.scheduler) {
     case SchedulerKind::CentralMutex:
       return std::make_unique<CentralMutexScheduler>(
-          config.topo, std::make_unique<FifoScheduler>(), config.tracer);
+          config.topo, makePolicy(config.policy, config.topo),
+          config.tracer);
     case SchedulerKind::PTLockCentral:
       return std::make_unique<PTLockScheduler>(
-          config.topo, std::make_unique<FifoScheduler>(),
-          config.addBufferCapacity, config.tracer);
+          config.topo, makePolicy(config.policy, config.topo),
+          config.spscCapacity, config.tracer);
     case SchedulerKind::SyncDelegation:
     case SchedulerKind::WorkStealing:
       return std::make_unique<SyncScheduler>(
-          config.topo, std::make_unique<FifoScheduler>(),
-          config.addBufferCapacity, config.tracer);
+          config.topo, makePolicy(config.policy, config.topo),
+          SyncScheduler::Options{config.spscCapacity, config.schedBatchServe,
+                                 config.serveBurst},
+          config.tracer);
   }
   return nullptr;
 }

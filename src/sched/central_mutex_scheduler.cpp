@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "instr/tracer.hpp"
+#include "sched/policies.hpp"
 
 namespace ats {
 
@@ -11,7 +12,7 @@ CentralMutexScheduler::CentralMutexScheduler(
     : Scheduler(tracer),
       topo_(std::move(topo)),
       policy_(policy != nullptr ? std::move(policy)
-                                : std::make_unique<FifoScheduler>()) {}
+                                : std::make_unique<FifoPolicy>()) {}
 
 void CentralMutexScheduler::addReadyTask(Task* task, std::size_t cpu) {
   // The contention probe (try first, log, then block) runs ONLY under a

@@ -10,15 +10,15 @@ namespace ats {
 
 PTLockScheduler::PTLockScheduler(Topology topo,
                                  std::unique_ptr<SchedulerPolicy> policy,
-                                 std::size_t addBufferCapacity,
+                                 std::size_t spscCapacity,
                                  Tracer* tracer)
     // Waiting-array slots must cover every thread that can contend; size
     // for at least the topology and leave headroom for oversubscription.
     : Scheduler(tracer),
       topo_(std::move(topo)),
-      lock_(std::max<std::size_t>(64, topo_.numCpus * 2)),
+      lock_(std::max<std::size_t>(64, topo_.slotCount() * 2)),
       policy_(std::move(policy)),
-      addBuffers_(topo_.numCpus, addBufferCapacity) {}
+      addBuffers_(topo_.slotCount(), spscCapacity) {}
 
 void PTLockScheduler::addReadyTask(Task* task, std::size_t cpu) {
   assert(cpu < addBuffers_.numCpus());

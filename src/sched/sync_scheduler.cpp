@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <utility>
 
 #include "instr/tracer.hpp"
@@ -10,13 +11,16 @@ namespace ats {
 
 SyncScheduler::SyncScheduler(Topology topo,
                              std::unique_ptr<SchedulerPolicy> policy,
-                             std::size_t addBufferCapacity, Tracer* tracer)
+                             Options options, Tracer* tracer)
     : Scheduler(tracer),
       topo_(std::move(topo)),
-      lock_(std::max<std::size_t>(64, topo_.numCpus * 2),
-            std::max<std::size_t>(64, topo_.numCpus)),
+      lock_(std::max<std::size_t>(64, topo_.slotCount() * 2),
+            std::max<std::size_t>(64, topo_.slotCount())),
       policy_(std::move(policy)),
-      addBuffers_(topo_.numCpus, addBufferCapacity) {}
+      addBuffers_(topo_.slotCount(), options.spscCapacity),
+      batchServe_(options.batchServe),
+      serveBurst_(std::clamp<std::size_t>(options.serveBurst, 1,
+                                          kMaxServeBurst)) {}
 
 void SyncScheduler::addReadyTask(Task* task, std::size_t cpu) {
   assert(cpu < addBuffers_.numCpus());
@@ -53,11 +57,63 @@ void SyncScheduler::serveWaiters(std::size_t cpu) {
   // can requeue while we still hold the lock; cap the combining burst so
   // the holder's own latency stays bounded.
   const std::size_t maxServes = 4 * topo_.numCpus + 4;
+  if (batchServe_) {
+    serveWaitersBatched(cpu, maxServes);
+  } else {
+    serveWaitersOneByOne(cpu, maxServes);
+  }
+}
+
+void SyncScheduler::serveWaitersBatched(std::size_t cpu,
+                                        std::size_t maxServes) {
+  std::uint64_t waiterCpus[kMaxServeBurst];
+  Task* tasks[kMaxServeBurst];
+  std::uintptr_t items[kMaxServeBurst];
+  bool refilled = false;
+  std::size_t served = 0;
+  while (served < maxServes) {
+    const std::size_t want =
+        std::min(serveBurst_, maxServes - served);
+    const std::size_t n = lock_.popWaiters(waiterCpus, want);
+    if (n == 0) break;
+    // One bulk policy pull for the whole batch.  The pull is made from
+    // the HOLDER's locality view — a flat-combining trade-off a
+    // NUMA-aware policy feels (served waiters may receive holder-local
+    // tasks); serve-one keeps per-waiter affinity (see DESIGN.md).
+    std::size_t got = policy_->getTasks(tasks, n, cpu);
+    if (got < n && !refilled) {
+      // Refill before answering "nothing ready" — but at most once per
+      // combining burst: an idle spin of delegating waiters must not
+      // turn the holder into a drain loop.
+      refilled = true;
+      emitDrain(cpu, addBuffers_.drainInto(*policy_));
+      got += policy_->getTasks(tasks + got, n - got, cpu);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      items[i] =
+          reinterpret_cast<std::uintptr_t>(i < got ? tasks[i] : nullptr);
+    }
+    lock_.serveBatch(waiterCpus, items, n);
+    // One coalesced SchedServe per batch, hand-off count as payload —
+    // and only when something was actually handed off (idle waiters
+    // re-delegate continuously; see the Scheduler contract).
+    if (tracer_ != nullptr && got != 0)
+      tracer_->emit(cpu, TraceEvent::SchedServe, got);
+    served += n;
+    if (got < n) break;  // policy dry even after the one refill
+  }
+}
+
+void SyncScheduler::serveWaitersOneByOne(std::size_t cpu,
+                                         std::size_t maxServes) {
+  bool refilled = false;
   std::uint64_t waiterCpu = 0;
   for (std::size_t n = 0; n < maxServes && lock_.popWaiter(waiterCpu); ++n) {
     Task* task = policy_->getTask(static_cast<std::size_t>(waiterCpu));
-    if (task == nullptr) {
-      // Refill before answering "nothing ready".
+    if (task == nullptr && !refilled) {
+      // Refill before answering "nothing ready" — once per burst, same
+      // rationale as the batched path.
+      refilled = true;
       emitDrain(cpu, addBuffers_.drainInto(*policy_));
       task = policy_->getTask(static_cast<std::size_t>(waiterCpu));
     }
@@ -65,7 +121,7 @@ void SyncScheduler::serveWaiters(std::size_t cpu) {
     // continuously, and logging every empty answer would saturate the
     // holder's ring with "nothing happened" (see the Scheduler contract).
     if (tracer_ != nullptr && task != nullptr)
-      tracer_->emit(cpu, TraceEvent::SchedServe, waiterCpu);
+      tracer_->emit(cpu, TraceEvent::SchedServe, 1);
     lock_.serve(reinterpret_cast<std::uintptr_t>(task));
   }
 }

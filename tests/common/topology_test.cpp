@@ -48,6 +48,24 @@ TEST(Topology, NumaDomainMappingCoversEveryCpu) {
   EXPECT_EQ(rome.cpusPerDomain(), 16u);
 }
 
+TEST(Topology, ReservedSlotsDoNotShiftTheDomainMap) {
+  // The Runtime reserves a spawner slot via reservedSlots; a phantom
+  // extra "CPU" folded into numCpus instead would change cpusPerDomain
+  // (ceil(5/2) = 3) and misclassify worker CPU 2 into domain 0.
+  Topology topo;
+  topo.numCpus = 4;
+  topo.numNumaDomains = 2;
+  topo.reservedSlots = 1;
+  EXPECT_EQ(topo.slotCount(), 5u);
+  EXPECT_EQ(topo.cpusPerDomain(), 2u);  // anchored to the 4 real CPUs
+  EXPECT_EQ(topo.numaDomainOf(0), 0u);
+  EXPECT_EQ(topo.numaDomainOf(1), 0u);
+  EXPECT_EQ(topo.numaDomainOf(2), 1u);
+  EXPECT_EQ(topo.numaDomainOf(3), 1u);
+  // The reserved slot folds onto a real CPU's domain (slot 4 -> CPU 0).
+  EXPECT_EQ(topo.numaDomainOf(4), 0u);
+}
+
 TEST(Topology, PresetNames) {
   EXPECT_STREQ(presetName(MachinePreset::Host), "host");
   EXPECT_STREQ(presetName(MachinePreset::Xeon), "xeon");

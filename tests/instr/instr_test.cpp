@@ -241,6 +241,7 @@ TEST(TraceAnalyzerTest, ServeGapAndIrqCorrelationMath) {
   EXPECT_DOUBLE_EQ(a.spanUs, 1000.0);
   EXPECT_EQ(a.recordCount, 13u);
   EXPECT_EQ(a.serveCount, 3u);
+  EXPECT_EQ(a.servedTasks, 2u);  // payloads 1 + 0 + 1 (hand-off counts)
   EXPECT_EQ(a.drainCount, 2u);
   EXPECT_EQ(a.drainedTasks, 7u);
   EXPECT_EQ(a.irqCount, 1u);
@@ -358,7 +359,7 @@ TEST(TracedRuntimeTest, EverySchedulerKindEmitsUnderTracing) {
     RuntimeConfig cfg = optimizedConfig(makeTopology(MachinePreset::Host, 2));
     cfg.scheduler = kind;
     // Tiny add-buffers force the overflow/contention paths under trace.
-    cfg.addBufferCapacity = 4;
+    cfg.spscCapacity = 4;
     cfg.tracer = &tracer;
     {
       Runtime rt(cfg);

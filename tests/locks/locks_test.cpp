@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <numeric>
 #include <thread>
@@ -130,6 +131,162 @@ TEST(Locks, DTLockSingleThreadServeProtocol) {
   EXPECT_TRUE(lock.lockOrDelegate(3, item));
   EXPECT_FALSE(lock.popWaiter(cpu));
   lock.unlock();
+}
+
+/// Deterministic batched-serve protocol walk: a holder pins the lock,
+/// known delegators queue behind it, and the holder answers them with
+/// popWaiters snapshots smaller than the queue — exercising batch
+/// boundaries (a burst split across two serveBatch calls) without any
+/// scheduling luck involved.
+TEST(Locks, DTLockPopWaitersSnapshotsAndServesInTicketOrder) {
+  constexpr std::uint64_t kWaiters = 4;
+  DTLock lock(16);
+  lock.lock();
+
+  std::uint64_t cpus[kWaiters] = {};
+  EXPECT_EQ(lock.popWaiters(cpus, kWaiters), 0u);  // nobody queued
+
+  std::atomic<std::uint64_t> results[kWaiters];
+  for (auto& r : results) r.store(0, std::memory_order_relaxed);
+  std::vector<std::thread> waiters;
+  for (std::uint64_t t = 0; t < kWaiters; ++t) {
+    waiters.emplace_back([&, t] {
+      std::uintptr_t item = 0;
+      // The lock is held for the whole queuing phase, so every waiter
+      // must be served (never acquire).
+      ASSERT_FALSE(lock.lockOrDelegate(t, item));
+      results[t].store(item, std::memory_order_relaxed);
+    });
+  }
+
+  // popWaiters does not consume: poll until the snapshot covers all
+  // four queued requests, then check re-reading returns the same run.
+  SpinWait w;
+  while (lock.popWaiters(cpus, kWaiters) < kWaiters) w.spin();
+  std::uint64_t again[kWaiters] = {};
+  ASSERT_EQ(lock.popWaiters(again, kWaiters), kWaiters);
+  for (std::uint64_t i = 0; i < kWaiters; ++i) EXPECT_EQ(again[i], cpus[i]);
+
+  // Serve in two batches of two: the split must not lose, reorder, or
+  // double-serve anyone.
+  std::uint64_t batch[2] = {};
+  std::uintptr_t items[2] = {};
+  for (int half = 0; half < 2; ++half) {
+    ASSERT_EQ(lock.popWaiters(batch, 2), 2u);
+    for (int i = 0; i < 2; ++i) items[i] = 100 + batch[i];
+    lock.serveBatch(batch, items, 2);
+  }
+  EXPECT_EQ(lock.popWaiters(cpus, kWaiters), 0u);  // everyone answered
+  lock.unlock();
+  for (auto& t : waiters) t.join();
+
+  for (std::uint64_t t = 0; t < kWaiters; ++t) {
+    EXPECT_EQ(results[t].load(std::memory_order_relaxed), 100 + t)
+        << "waiter " << t << " got someone else's result";
+  }
+}
+
+/// Batched analogue of DTLockDelegationDeliversExactlyOnce, under the
+/// §3.2 8-thread stress shape: the holder mints numbers for itself and
+/// answers queued waiters through popWaiters/serveBatch with a snapshot
+/// cap of 3 — far below the contender count, so batch boundaries land
+/// mid-queue constantly and served waiters requeue while the holder is
+/// still serving.  Exactly-once delivery = the multiset is 1..N.
+TEST(Locks, DTLockBatchedServeDeliversExactlyOnce) {
+  constexpr int kOps = 2000;
+  constexpr std::size_t kBatchCap = 3;
+  DTLock lock(64);
+  std::uint64_t counter = 0;  // guarded by lock
+  std::vector<std::vector<std::uintptr_t>> got(kThreads);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto& mine = got[static_cast<std::size_t>(t)];
+      std::uint64_t cpus[kBatchCap];
+      std::uintptr_t items[kBatchCap];
+      while (mine.size() < static_cast<std::size_t>(kOps)) {
+        std::uintptr_t item = 0;
+        if (lock.lockOrDelegate(static_cast<std::uint64_t>(t), item)) {
+          mine.push_back(++counter);  // holder serves itself...
+          std::size_t n;
+          while ((n = lock.popWaiters(cpus, kBatchCap)) != 0) {
+            for (std::size_t i = 0; i < n; ++i) {
+              items[i] = static_cast<std::uintptr_t>(++counter);
+            }
+            lock.serveBatch(cpus, items, n);  // ...and batches of waiters
+          }
+          lock.unlock();
+        } else {
+          mine.push_back(item);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<std::uintptr_t> all;
+  for (const auto& v : got) all.insert(all.end(), v.begin(), v.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kThreads) * kOps);
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    ASSERT_EQ(all[i], i + 1) << "batched delegation lost or duplicated";
+  }
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(kThreads) * kOps);
+}
+
+/// Serve-one and batched serving interleave on the same lock: both
+/// advance `served_` identically, so a holder may mix them freely.
+TEST(Locks, DTLockMixedServeOneAndBatchDeliversExactlyOnce) {
+  constexpr int kOps = 1500;
+  DTLock lock(64);
+  std::uint64_t counter = 0;
+  std::vector<std::vector<std::uintptr_t>> got(kThreads);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto& mine = got[static_cast<std::size_t>(t)];
+      std::uint64_t cpus[2];
+      std::uintptr_t items[2];
+      bool batchTurn = (t % 2) == 0;
+      while (mine.size() < static_cast<std::size_t>(kOps)) {
+        std::uintptr_t item = 0;
+        if (lock.lockOrDelegate(static_cast<std::uint64_t>(t), item)) {
+          mine.push_back(++counter);
+          for (;;) {
+            if (batchTurn) {
+              const std::size_t n = lock.popWaiters(cpus, 2);
+              if (n == 0) break;
+              for (std::size_t i = 0; i < n; ++i) {
+                items[i] = static_cast<std::uintptr_t>(++counter);
+              }
+              lock.serveBatch(cpus, items, n);
+            } else {
+              std::uint64_t waiterCpu = 0;
+              if (!lock.popWaiter(waiterCpu)) break;
+              lock.serve(static_cast<std::uintptr_t>(++counter));
+            }
+            batchTurn = !batchTurn;  // alternate WITHIN one lock hold too
+          }
+          lock.unlock();
+        } else {
+          mine.push_back(item);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<std::uintptr_t> all;
+  for (const auto& v : got) all.insert(all.end(), v.begin(), v.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kThreads) * kOps);
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    ASSERT_EQ(all[i], i + 1) << "mixed-mode serving lost or duplicated";
+  }
 }
 
 /// Mirrors the SyncScheduler usage: every thread asks for "the next

@@ -147,6 +147,85 @@ TEST_P(RuntimeMatrixTest, ReadFanNeverObservesTornWriter) {
   EXPECT_EQ(pair.b, kRounds);
 }
 
+/// The scheduler-tuning dimension of the ISSUE-5 batched-serve work:
+/// every PolicyKind crossed with batch-vs-serve-one delegation, on the
+/// optimized SyncDelegation/WaitFreeAsm runtime under 8 workers.  The
+/// conservation and ordering laws must be knob-independent.
+using Tuning = std::tuple<PolicyKind, bool>;
+
+class SchedTuningMatrixTest : public ::testing::TestWithParam<Tuning> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Knobs, SchedTuningMatrixTest,
+    ::testing::Combine(::testing::Values(PolicyKind::Fifo, PolicyKind::Lifo,
+                                         PolicyKind::NumaFifo),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      std::string name;
+      switch (std::get<0>(info.param)) {
+        case PolicyKind::Fifo: name = "Fifo"; break;
+        case PolicyKind::Lifo: name = "Lifo"; break;
+        case PolicyKind::NumaFifo: name = "NumaFifo"; break;
+      }
+      return name + (std::get<1>(info.param) ? "_BatchServe" : "_ServeOne");
+    });
+
+TEST_P(SchedTuningMatrixTest, SpawnTaskwaitConservesEveryTaskExactlyOnce) {
+  constexpr int kTasks = 2000;
+  const auto [policy, batchServe] = GetParam();
+  RuntimeConfig config =
+      testConfig(DepsKind::WaitFreeAsm, SchedulerKind::SyncDelegation, 8);
+  config.policy = policy;
+  config.schedBatchServe = batchServe;
+  // Small buffers so the overflow help-drain path runs under every knob.
+  config.spscCapacity = 32;
+  Runtime rt(config);
+
+  std::vector<std::atomic<int>> ran(kTasks);
+  std::atomic<int> total{0};
+  for (int i = 0; i < kTasks; ++i) {
+    rt.spawn({}, [&ran, &total, i] {
+      ran[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  rt.taskwait();
+  EXPECT_EQ(total.load(), kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    ASSERT_EQ(ran[static_cast<std::size_t>(i)].load(), 1)
+        << "task " << i << " ran zero or multiple times";
+  }
+}
+
+TEST_P(SchedTuningMatrixTest, InoutChainStaysStrictlyOrdered) {
+  constexpr int kLinks = 300;
+  const auto [policy, batchServe] = GetParam();
+  RuntimeConfig config =
+      testConfig(DepsKind::WaitFreeAsm, SchedulerKind::SyncDelegation, 8);
+  config.policy = policy;
+  config.schedBatchServe = batchServe;
+  Runtime rt(config);
+
+  // Dependency order must override ANY ready-queue policy: the chain
+  // admits one ready task at a time, so even LIFO cannot reorder it —
+  // and TSan would flag overlap if a policy handed a task out twice.
+  long long counter = 0;
+  std::vector<long long> observed(kLinks, -1);
+  for (int i = 0; i < kLinks; ++i) {
+    rt.spawn({inout(counter)}, [&counter, &observed, i] {
+      observed[static_cast<std::size_t>(i)] = counter;
+      ++counter;
+    });
+  }
+  rt.taskwait();
+
+  EXPECT_EQ(counter, kLinks);
+  for (int i = 0; i < kLinks; ++i) {
+    ASSERT_EQ(observed[static_cast<std::size_t>(i)], i)
+        << "chain link " << i << " ran out of order";
+  }
+}
+
 /// Non-matrix runtime behaviors, default (optimized) configuration.
 TEST(RuntimeTest, RawFunctionPointerSpawn) {
   Runtime rt(optimizedConfig(makeTopology(MachinePreset::Host, 2)));
@@ -259,9 +338,16 @@ TEST(RuntimeConfigTest, MachinePresetConfigsShareConsistentDefaults) {
     EXPECT_EQ(config->scheduler, reference.scheduler);
     EXPECT_EQ(config->deps, reference.deps);
     EXPECT_EQ(config->usePoolAllocator, reference.usePoolAllocator);
-    EXPECT_EQ(config->addBufferCapacity, reference.addBufferCapacity);
+    EXPECT_EQ(config->policy, reference.policy);
+    EXPECT_EQ(config->schedBatchServe, reference.schedBatchServe);
+    EXPECT_EQ(config->serveBurst, reference.serveBurst);
+    EXPECT_EQ(config->spscCapacity, reference.spscCapacity);
     EXPECT_EQ(config->tracer, reference.tracer);  // factories never attach one
   }
+  // The optimized configuration batches its delegation serving — batch
+  // serve IS the §8 optimization, not an opt-in.
+  EXPECT_TRUE(reference.schedBatchServe);
+  EXPECT_EQ(reference.policy, PolicyKind::Fifo);
   EXPECT_EQ(xeon.topo.preset, MachinePreset::Xeon);
   EXPECT_EQ(rome.topo.preset, MachinePreset::Rome);
   EXPECT_EQ(graviton.topo.preset, MachinePreset::Graviton);
