@@ -1,7 +1,10 @@
 // Figure 8 reproduction: runtime comparison on the AMD Rome preset.
 // Benchmarks: HPCCG, NBody, miniAMR, Matmul.  The paper's AOCC runtime is
 // LLVM-based and ties the LLVM curve, so the llvm_like stand-in covers
-// both.
+// both.  llvm_like is the real per-CPU Chase–Lev work-stealing scheduler
+// (it was a relabeled SyncScheduler before PR 6), so this figure now
+// compares genuinely different architectures, which matters most on
+// Rome's 8 NUMA domains: the thief probe order is NUMA-local-first.
 #include "bench/fig_common.hpp"
 
 int main() {

@@ -21,9 +21,10 @@ const std::vector<Variant>& ablationVariants();
 
 /// The runtime-comparison curves of Figures 7-9.  "nanos6" is the fully
 /// optimized runtime; "gcc-like" and "llvm-like" are the architectural
-/// stand-ins (central mutex, work stealing) for GOMP and the LLVM-family
-/// runtimes (the paper notes Intel's and AMD AOCC's runtimes are
-/// LLVM-based, and measures AOCC tying LLVM).
+/// stand-ins for GOMP and the LLVM-family runtimes (the paper notes
+/// Intel's and AMD AOCC's runtimes are LLVM-based, and measures AOCC
+/// tying LLVM): a central-mutex scheduler and the real Chase–Lev
+/// work-stealing scheduler respectively.
 const std::vector<Variant>& runtimeComparisonVariants();
 
 /// Sweep parameters resolved from the environment:

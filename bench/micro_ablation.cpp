@@ -79,9 +79,9 @@ BENCHMARK(BM_Policy)
 
 void BM_SchedulerKind(benchmark::State& state) {
   // The scheduler architectures on identical deps/alloc.  WorkStealing
-  // still maps onto the delegation scheduler in makeScheduler (the
-  // documented fig7-9 stand-in); the old "Hierarchical" (§7) spelling
-  // named a design this repo never grew and is dropped from the sweep.
+  // is the real per-deque Chase–Lev design as of PR 6 (micro_steal digs
+  // into its internals); the old "Hierarchical" (§7) spelling named a
+  // design this repo never grew and is dropped from the sweep.
   RuntimeConfig cfg = optimizedConfig(makeTopology(MachinePreset::Host,
                                                    kThreads));
   cfg.scheduler = static_cast<SchedulerKind>(state.range(0));

@@ -90,12 +90,13 @@ int selftest() {
   tracer.emit(1, TraceEvent::SchedServe, 1);  // payload: burst hand-off count
   tracer.emit(tracer.kernelStream(), TraceEvent::KernelIrqExit, 0);
   tracer.emit(0, TraceEvent::TaskEnd, 0x1000);
+  tracer.emit(1, TraceEvent::SchedSteal, 0);  // payload: victim slot
   tracer.emit(tracer.spawnerStream(), TraceEvent::TaskStart, 0x2000);
   tracer.emit(tracer.spawnerStream(), TraceEvent::TaskEnd, 0x2000);
 
   const std::vector<TraceRecord> written = tracer.collect();
-  if (written.size() != 10 || tracer.dropped() != 0) {
-    std::fprintf(stderr, "selftest: expected 10 records 0 drops, got "
+  if (written.size() != 11 || tracer.dropped() != 0) {
+    std::fprintf(stderr, "selftest: expected 11 records 0 drops, got "
                          "%zu/%llu\n",
                  written.size(),
                  static_cast<unsigned long long>(tracer.dropped()));

@@ -12,6 +12,7 @@ namespace ats {
 /// Per-worker numbers derived from one thread's stream.
 struct ThreadTraceStats {
   std::uint64_t tasksExecuted = 0;
+  std::uint64_t steals = 0;  ///< SchedSteal events this thread emitted
   double busyUs = 0;  ///< inside TaskStart..TaskEnd
   double idleUs = 0;  ///< inside WorkerIdleBegin..WorkerIdleEnd
   double idlePct = 0;  ///< idleUs / trace span (starvation %)
@@ -31,6 +32,14 @@ struct TraceAnalysis {
   std::uint64_t drainCount = 0;    ///< SchedDrain events
   std::uint64_t drainedTasks = 0;  ///< sum of SchedDrain payloads
   std::uint64_t contendedCount = 0;  ///< SchedLockContended events
+
+  /// Work-stealing traffic: SchedSteal events across ALL streams (the
+  /// spawner steals too) and the TaskStart count they are a fraction
+  /// of.  stealRatio = stealCount / taskStartCount — how much of the
+  /// executed work arrived by theft rather than a local pop.
+  std::uint64_t stealCount = 0;
+  std::uint64_t taskStartCount = 0;  ///< TaskStart events, all streams
+  double stealRatio = 0;
 
   /// Longest gap between consecutive SchedServe events — the fig11
   /// signal: a displaced lock holder shows up as one huge serve gap.

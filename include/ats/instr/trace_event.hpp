@@ -20,6 +20,7 @@ enum class TraceEvent : std::uint16_t {
   WorkerIdleEnd = 7,       ///< a task arrived after an idle streak
   KernelIrqEnter = 8,      ///< payload: displaced CPU
   KernelIrqExit = 9,       ///< payload: displaced CPU
+  SchedSteal = 10,         ///< a thief's steal succeeded; payload: victim slot.  Emitted into the THIEF's stream (work_steal scheduler).  Trace format note: a new event value, not a payload redefinition — v2 readers that predate it render "Unknown" but parse the file fine, so no version bump.
 };
 
 constexpr const char* eventName(TraceEvent event) {
@@ -33,6 +34,7 @@ constexpr const char* eventName(TraceEvent event) {
     case TraceEvent::WorkerIdleEnd: return "WorkerIdleEnd";
     case TraceEvent::KernelIrqEnter: return "KernelIrqEnter";
     case TraceEvent::KernelIrqExit: return "KernelIrqExit";
+    case TraceEvent::SchedSteal: return "SchedSteal";
   }
   return "Unknown";
 }

@@ -15,8 +15,20 @@ enum class SchedulerKind {
   CentralMutex,    ///< one OS mutex (serial-insertion / GOMP-like base)
   PTLockCentral,   ///< PTLock-protected central queue ("w/o DTLock")
   SyncDelegation,  ///< SPSC add-buffers + DTLock delegation (the paper's)
-  WorkStealing,    ///< per-thread deques + stealing (LLVM-family stand-in)
+  WorkStealing,    ///< per-CPU Chase–Lev deques + stealing (LLVM-family)
 };
+
+/// Stable short name per kind, matching each scheduler's `name()` (the
+/// policyKindName companion; bench labels and error messages use it).
+constexpr const char* schedulerKindName(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::CentralMutex: return "central_mutex";
+    case SchedulerKind::PTLockCentral: return "ptlock_central";
+    case SchedulerKind::SyncDelegation: return "sync_dtlock";
+    case SchedulerKind::WorkStealing: return "work_steal";
+  }
+  return "unknown";
+}
 
 /// Everything a Runtime needs to construct itself.  The fig benches build
 /// these through the factory functions below, one per curve.
@@ -43,9 +55,17 @@ struct RuntimeConfig {
   std::size_t serveBurst = 16;
 
   /// Slots in each per-CPU SPSC add-buffer (SyncDelegation and
-  /// PTLockCentral).  Reconciled name — older code and docs said
-  /// `addBufferCapacity`.
+  /// PTLockCentral), and the initial per-CPU deque capacity under
+  /// WorkStealing (same "per-CPU buffer" knob; the deque grows past it).
+  /// Reconciled name — older code and docs said `addBufferCapacity`.
   std::size_t spscCapacity = 256;
+
+  /// WorkStealing only: most REMOTE-NUMA-domain victims one empty poll
+  /// probes (the local domain is always probed in full).  Threaded the
+  /// same way serveBurst is for SyncDelegation.  Default mirrors
+  /// WorkStealingSchedulerOptions::kDefaultStealProbeLimit (this header
+  /// stays light, so the constant is not included here).
+  std::size_t stealProbeLimit = 64;
 
   /// Instrumentation backend (§5): the per-CPU ring tracer the runtime
   /// and scheduler emit into, or nullptr (the default) for the untraced

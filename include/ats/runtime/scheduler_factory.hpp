@@ -9,9 +9,10 @@ namespace ats {
 
 /// Build the scheduler a RuntimeConfig asks for.  Lives in the runtime
 /// layer (not sched) because RuntimeConfig does: layers below must not
-/// include upward.  WorkStealing maps to the delegation scheduler until
-/// the work-stealing runtime lands (the fig7-9 stand-in needs the full
-/// Runtime anyway).
+/// include upward.  Each kind constructs its own design — WorkStealing
+/// gets the real WorkStealingScheduler (it aliased to SyncScheduler
+/// before PR 6) — and an out-of-enum kind aborts loudly instead of
+/// returning nullptr.
 std::unique_ptr<Scheduler> makeScheduler(const RuntimeConfig& config);
 
 }  // namespace ats

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/topology.hpp"
+#include "containers/chase_lev_deque.hpp"
+#include "sched/scheduler.hpp"
+
+namespace ats {
+
+/// WorkStealingScheduler's construction-time knobs; mirrored by
+/// RuntimeConfig and swept by micro_steal.  (Namespace-scope rather than
+/// nested for the same GCC default-argument reason as
+/// SyncSchedulerOptions.)
+struct WorkStealingSchedulerOptions {
+  /// Initial per-slot deque capacity; the deque grows past it on
+  /// demand, so unlike the SPSC schedulers there is no overflow
+  /// protocol to size against.  RuntimeConfig reuses `spscCapacity` for
+  /// this (it is the same "per-CPU buffer" knob).
+  static constexpr std::size_t kDefaultDequeCapacity = 256;
+  /// Most REMOTE-domain victims one getReadyTask call probes (the local
+  /// domain is always probed in full).  Clamped to at least 1 so remote
+  /// work can never become unreachable.
+  static constexpr std::size_t kDefaultStealProbeLimit = 64;
+
+  std::size_t dequeCapacity = kDefaultDequeCapacity;
+  std::size_t stealProbeLimit = kDefaultStealProbeLimit;
+};
+
+/// The LLVM-family architectural alternative (fig7-9's "llvm_like"
+/// curve), now a real design instead of a relabeled SyncScheduler: one
+/// Chase–Lev deque per CPU slot, no central lock, no shared policy
+/// object — the decentralized counterpoint to the paper's centralized
+/// delegation.
+///
+///   * addReadyTask(task, cpu): push onto slot `cpu`'s own deque.  The
+///     caller is that slot's single thread (the Scheduler contract), so
+///     this is the deque's owner-side push — no shared RMW at all on
+///     the common path.  External submission needs no extra lock for
+///     the same reason: the spawner has its own reserved slot, its
+///     deque is steal-only ingress for the workers.
+///   * getReadyTask(cpu): pop slot `cpu`'s deque LIFO (depth-first,
+///     cache-warm — the same trade LifoPolicy prices); on empty, steal
+///     FIFO from victims, every same-NUMA-domain slot first (Topology's
+///     domain map, the way NumaFifoPolicy uses it), then remote slots
+///     round-robin behind a rotating cursor, at most `stealProbeLimit`
+///     remote probes per call before reporting empty.  A steal CAS lost
+///     to a competitor retries the same victim: an abort means someone
+///     else just removed an element, so the retry loop is progress-
+///     bounded by the victim's queue length.
+///
+/// This design bypasses the SchedulerPolicy serialization model the
+/// other three schedulers share: there is no point where one thread
+/// holds all the tasks, so a pluggable single-threaded policy object
+/// has nothing to serialize against.  RuntimeConfig::policy is
+/// therefore ignored under SchedulerKind::WorkStealing (the per-deque
+/// LIFO/steal-FIFO order IS the policy).
+///
+/// Traced variant emits one SchedSteal per successful steal (payload =
+/// victim slot) into the thief's stream — bounded by tasks executed,
+/// per the Scheduler emission contract.  Local pops are deliberately
+/// untraced: they are the hot path whose zero-shared-RMW property the
+/// design exists to demonstrate.
+class WorkStealingScheduler final : public Scheduler {
+ public:
+  using Options = WorkStealingSchedulerOptions;
+
+  WorkStealingScheduler(Topology topo, Options options = {},
+                        Tracer* tracer = nullptr);
+
+  void addReadyTask(Task* task, std::size_t cpu) override;
+  Task* getReadyTask(std::size_t cpu) override;
+
+  const char* name() const override { return "work_steal"; }
+
+  /// Remote probe bound after construction-time clamping (micro_steal
+  /// labels and tests read it back).
+  std::size_t stealProbeLimit() const { return probeLimit_; }
+
+ private:
+  /// Steal from `victim` into `out`, retrying lost CASes, emitting
+  /// SchedSteal into `cpu`'s stream on success.
+  bool stealFrom(std::size_t victim, std::size_t cpu, Task*& out);
+
+  /// Per-slot rotating cursor into the remote victim list.  Owner-only
+  /// (each slot's single thread), padded so neighbouring slots' cursor
+  /// updates never share a line.
+  struct alignas(64) ProbeCursor {
+    std::size_t next = 0;
+  };
+
+  Topology topo_;
+  std::size_t probeLimit_;
+  std::vector<std::unique_ptr<ChaseLevDeque<Task*>>> deques_;
+  std::unique_ptr<ProbeCursor[]> cursors_;
+  /// victim slot indices per slot, precomputed at construction:
+  /// same-domain slots (always probed, in ring order from the slot) and
+  /// the rest (rotating bounded probe).
+  std::vector<std::vector<std::uint32_t>> localVictims_;
+  std::vector<std::vector<std::uint32_t>> remoteVictims_;
+};
+
+}  // namespace ats

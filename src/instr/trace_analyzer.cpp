@@ -147,9 +147,23 @@ TraceAnalysis analyzeTrace(const std::vector<TraceRecord>& records,
       case TraceEvent::SchedLockContended:
         ++analysis.contendedCount;
         break;
+      case TraceEvent::SchedSteal:
+        ++analysis.stealCount;
+        // Per-thread attribution covers worker streams only; the
+        // spawner's steals (stream == numThreads) still count in the
+        // total above.
+        if (r.stream < numThreads) ++analysis.threads[r.stream].steals;
+        break;
+      case TraceEvent::TaskStart:
+        ++analysis.taskStartCount;
+        break;
       default:
         break;
     }
+  }
+  if (analysis.taskStartCount > 0) {
+    analysis.stealRatio = static_cast<double>(analysis.stealCount) /
+                          static_cast<double>(analysis.taskStartCount);
   }
   forEachWorkerInterval(
       sorted, numThreads, t1,
@@ -211,9 +225,10 @@ std::string formatAnalysis(const TraceAnalysis& analysis) {
   for (std::size_t t = 0; t < analysis.threads.size(); ++t) {
     const ThreadTraceStats& thread = analysis.threads[t];
     std::snprintf(line, sizeof(line),
-                  "  cpu%02zu: tasks=%llu busy=%.1fus idle=%.1fus "
-                  "(%.1f%% starved)\n",
+                  "  cpu%02zu: tasks=%llu steals=%llu busy=%.1fus "
+                  "idle=%.1fus (%.1f%% starved)\n",
                   t, static_cast<unsigned long long>(thread.tasksExecuted),
+                  static_cast<unsigned long long>(thread.steals),
                   thread.busyUs, thread.idleUs, thread.idlePct);
     text += line;
   }
@@ -225,6 +240,12 @@ std::string formatAnalysis(const TraceAnalysis& analysis) {
                 static_cast<unsigned long long>(analysis.drainCount),
                 static_cast<unsigned long long>(analysis.drainedTasks),
                 static_cast<unsigned long long>(analysis.contendedCount));
+  text += line;
+  std::snprintf(line, sizeof(line),
+                "  steals=%llu task_starts=%llu steal_ratio=%.1f%%\n",
+                static_cast<unsigned long long>(analysis.stealCount),
+                static_cast<unsigned long long>(analysis.taskStartCount),
+                100.0 * analysis.stealRatio);
   text += line;
   std::snprintf(line, sizeof(line),
                 "  max_serve_gap=%.1fus max_serve_gap_during_irq=%.1fus "

@@ -1,15 +1,21 @@
 #include "runtime/scheduler_factory.hpp"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "sched/central_mutex_scheduler.hpp"
 #include "sched/policies.hpp"
 #include "sched/ptlock_scheduler.hpp"
 #include "sched/sync_scheduler.hpp"
+#include "sched/work_stealing_scheduler.hpp"
 
 namespace ats {
 
 std::unique_ptr<Scheduler> makeScheduler(const RuntimeConfig& config) {
-  // Every design runs the same configured policy object, so policy
-  // sweeps compare policies, not scheduler substrates.
+  // The three serialized designs run the same configured policy object,
+  // so policy sweeps compare policies, not scheduler substrates.
+  // WorkStealing has no serialization point to plug a policy into and
+  // ignores config.policy (see WorkStealingScheduler's header).
   switch (config.scheduler) {
     case SchedulerKind::CentralMutex:
       return std::make_unique<CentralMutexScheduler>(
@@ -20,14 +26,26 @@ std::unique_ptr<Scheduler> makeScheduler(const RuntimeConfig& config) {
           config.topo, makePolicy(config.policy, config.topo),
           config.spscCapacity, config.tracer);
     case SchedulerKind::SyncDelegation:
-    case SchedulerKind::WorkStealing:
       return std::make_unique<SyncScheduler>(
           config.topo, makePolicy(config.policy, config.topo),
           SyncScheduler::Options{config.spscCapacity, config.schedBatchServe,
                                  config.serveBurst},
           config.tracer);
+    case SchedulerKind::WorkStealing:
+      return std::make_unique<WorkStealingScheduler>(
+          config.topo,
+          WorkStealingScheduler::Options{config.spscCapacity,
+                                         config.stealProbeLimit},
+          config.tracer);
   }
-  return nullptr;
+  // A value outside the enum can only come from memory corruption or a
+  // missed case after adding a kind.  Until PR 6 this path silently
+  // returned nullptr, deferring the failure to a null deref inside the
+  // Runtime; abort at the source instead.
+  std::fprintf(stderr,
+               "ats: makeScheduler: unknown SchedulerKind %d\n",
+               static_cast<int>(config.scheduler));
+  std::abort();
 }
 
 }  // namespace ats

@@ -1,0 +1,273 @@
+#include "containers/chase_lev_deque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace ats {
+namespace {
+
+TEST(ChaseLevDequeTest, StartsEmpty) {
+  ChaseLevDeque<int> deque;
+  int out = 0;
+  EXPECT_FALSE(deque.pop(out));
+  EXPECT_EQ(deque.steal(out), ChaseLevDeque<int>::StealResult::Empty);
+  EXPECT_TRUE(deque.emptyApprox());
+  EXPECT_EQ(deque.sizeApprox(), 0u);
+}
+
+TEST(ChaseLevDequeTest, OwnerPopIsLifo) {
+  ChaseLevDeque<int> deque;
+  for (int i = 0; i < 10; ++i) deque.push(i);
+  EXPECT_EQ(deque.sizeApprox(), 10u);
+  for (int i = 9; i >= 0; --i) {
+    int out = -1;
+    ASSERT_TRUE(deque.pop(out));
+    EXPECT_EQ(out, i);
+  }
+  int out = -1;
+  EXPECT_FALSE(deque.pop(out));
+}
+
+TEST(ChaseLevDequeTest, StealIsFifo) {
+  ChaseLevDeque<int> deque;
+  for (int i = 0; i < 10; ++i) deque.push(i);
+  for (int i = 0; i < 10; ++i) {
+    int out = -1;
+    ASSERT_EQ(deque.steal(out), ChaseLevDeque<int>::StealResult::Success);
+    EXPECT_EQ(out, i);
+  }
+  int out = -1;
+  EXPECT_EQ(deque.steal(out), ChaseLevDeque<int>::StealResult::Empty);
+}
+
+TEST(ChaseLevDequeTest, MixedEndsMeetInTheMiddle) {
+  ChaseLevDeque<int> deque;
+  for (int i = 0; i < 6; ++i) deque.push(i);
+  int out = -1;
+  ASSERT_TRUE(deque.pop(out));
+  EXPECT_EQ(out, 5);
+  ASSERT_EQ(deque.steal(out), ChaseLevDeque<int>::StealResult::Success);
+  EXPECT_EQ(out, 0);
+  ASSERT_TRUE(deque.pop(out));
+  EXPECT_EQ(out, 4);
+  ASSERT_EQ(deque.steal(out), ChaseLevDeque<int>::StealResult::Success);
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(deque.pop(out));
+  EXPECT_EQ(out, 3);
+  ASSERT_EQ(deque.steal(out), ChaseLevDeque<int>::StealResult::Success);
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(deque.pop(out));
+  EXPECT_EQ(deque.steal(out), ChaseLevDeque<int>::StealResult::Empty);
+}
+
+TEST(ChaseLevDequeTest, GrowsPastInitialCapacityPreservingOrder) {
+  ChaseLevDeque<int> deque(2);
+  const std::size_t initial = deque.capacity();
+  constexpr int kCount = 1000;
+  for (int i = 0; i < kCount; ++i) deque.push(i);
+  EXPECT_GT(deque.capacity(), initial);
+  EXPECT_EQ(deque.sizeApprox(), static_cast<std::size_t>(kCount));
+  // Steal order must be the push order across every growth boundary.
+  for (int i = 0; i < kCount; ++i) {
+    int out = -1;
+    ASSERT_EQ(deque.steal(out), ChaseLevDeque<int>::StealResult::Success);
+    ASSERT_EQ(out, i);
+  }
+}
+
+TEST(ChaseLevDequeTest, GrowKeepsLiveWindowAfterWrap) {
+  // Drive the indices around the ring before growing, so the live
+  // window [top, bottom) straddles a wrap when it is copied.
+  ChaseLevDeque<int> deque(4);
+  const std::size_t cap = deque.capacity();
+  int out = -1;
+  // Advance both indices by 3/4 of the ring.
+  for (std::size_t i = 0; i < cap - 1; ++i) {
+    deque.push(-1);
+    ASSERT_EQ(deque.steal(out), ChaseLevDeque<int>::StealResult::Success);
+  }
+  // Fill to capacity (wrapping), then one more push forces the grow.
+  const int kCount = static_cast<int>(cap) + 1;
+  for (int i = 0; i < kCount; ++i) deque.push(i);
+  for (int i = kCount - 1; i >= 0; --i) {
+    ASSERT_TRUE(deque.pop(out));
+    ASSERT_EQ(out, i);
+  }
+  EXPECT_FALSE(deque.pop(out));
+}
+
+/// The race window the one fence + one CAS exist for: when the deque
+/// holds exactly one element, a pop and a steal compete for it through
+/// the CAS on top.  Single-threaded interleavings of the surrounding
+/// states must all resolve to exactly-once.
+TEST(ChaseLevDequeTest, LastElementGoesToExactlyOneEnd) {
+  // Owner side wins when it runs the protocol alone.
+  {
+    ChaseLevDeque<int> deque;
+    deque.push(7);
+    int out = -1;
+    ASSERT_TRUE(deque.pop(out));
+    EXPECT_EQ(out, 7);
+    EXPECT_EQ(deque.steal(out), ChaseLevDeque<int>::StealResult::Empty);
+  }
+  // Thief side wins when it completes first; the owner's pop then
+  // reports empty, not a duplicate.
+  {
+    ChaseLevDeque<int> deque;
+    deque.push(7);
+    int out = -1;
+    ASSERT_EQ(deque.steal(out), ChaseLevDeque<int>::StealResult::Success);
+    EXPECT_EQ(out, 7);
+    int dup = -1;
+    EXPECT_FALSE(deque.pop(dup));
+  }
+  // Alternating winners over a long sequence: every element goes to
+  // exactly one end, none twice, none lost.
+  {
+    ChaseLevDeque<int> deque;
+    std::vector<bool> seen(200, false);
+    for (int i = 0; i < 200; ++i) {
+      deque.push(i);
+      int out = -1;
+      if (i % 2 == 0) {
+        ASSERT_TRUE(deque.pop(out));
+      } else {
+        ASSERT_EQ(deque.steal(out),
+                  ChaseLevDeque<int>::StealResult::Success);
+      }
+      ASSERT_FALSE(seen[static_cast<std::size_t>(out)]);
+      seen[static_cast<std::size_t>(out)] = true;
+      ASSERT_EQ(out, i);
+    }
+  }
+}
+
+/// Two real threads hammering the one-element race: the owner push+pops
+/// a single element per round while a thief spins stealing.  Every
+/// element must be claimed by exactly one side.  This is the
+/// deterministic-shape version of the race-window walk above — the
+/// interleaving varies run to run, but the exactly-once invariant is
+/// checked on every single element.
+TEST(ChaseLevDequeTest, OwnerPopVersusThiefStealNeverDuplicates) {
+  constexpr std::int64_t kRounds = 200000;
+  ChaseLevDeque<std::int64_t> deque;
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> stolenCount{0};
+  std::vector<std::int64_t> stolen;
+  stolen.reserve(static_cast<std::size_t>(kRounds));
+
+  std::thread thief([&] {
+    std::int64_t out = -1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (deque.steal(out) == ChaseLevDeque<std::int64_t>::StealResult::
+                                  Success) {
+        stolen.push_back(out);
+        stolenCount.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  std::vector<std::int64_t> popped;
+  popped.reserve(static_cast<std::size_t>(kRounds));
+  for (std::int64_t i = 0; i < kRounds; ++i) {
+    deque.push(i);
+    std::int64_t out = -1;
+    if (deque.pop(out)) popped.push_back(out);
+    // else: the thief won the CAS on the single element.
+  }
+  // Wait until every element is accounted for before stopping the
+  // thief (a pushed element the owner lost must surface on the thief).
+  while (popped.size() +
+             static_cast<std::size_t>(
+                 stolenCount.load(std::memory_order_relaxed)) <
+         static_cast<std::size_t>(kRounds)) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  thief.join();
+
+  std::vector<std::int64_t> all = popped;
+  all.insert(all.end(), stolen.begin(), stolen.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kRounds));
+  std::sort(all.begin(), all.end());
+  for (std::int64_t i = 0; i < kRounds; ++i) {
+    ASSERT_EQ(all[static_cast<std::size_t>(i)], i)
+        << "an element was duplicated or lost at the one-element race";
+  }
+}
+
+/// 8 threads, exactly-once conservation, with a tiny initial capacity so
+/// the owner grows the array many times WHILE thieves are mid-steal —
+/// the use-after-free hazard the retire-list exists for, and the
+/// stale-array read the CAS validation exists for.  Run under TSan/ASan
+/// in the sanitizer CI jobs.
+TEST(ChaseLevDequeTest, ManyThievesConserveUnderGrowth) {
+  constexpr std::int64_t kCount = 100000;
+  constexpr int kThieves = 7;  // + 1 owner = 8 threads
+  ChaseLevDeque<std::int64_t> deque(2);  // forces ~16 grows
+  std::atomic<std::int64_t> taken{0};
+  std::vector<std::vector<std::int64_t>> got(kThieves + 1);
+
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {  // owner: bursts of pushes, occasional pops
+    std::int64_t next = 0;
+    while (next < kCount) {
+      const std::int64_t burst = std::min<std::int64_t>(64, kCount - next);
+      for (std::int64_t i = 0; i < burst; ++i) deque.push(next++);
+      std::int64_t out = -1;
+      for (int i = 0; i < 8; ++i) {
+        if (deque.pop(out)) {
+          got[0].push_back(out);
+          taken.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    // Drain what the thieves leave behind.
+    std::int64_t out = -1;
+    while (taken.load(std::memory_order_relaxed) < kCount) {
+      if (deque.pop(out)) {
+        got[0].push_back(out);
+        taken.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (int c = 0; c < kThieves; ++c) {
+    threads.emplace_back([&, c] {
+      std::int64_t out = -1;
+      while (taken.load(std::memory_order_relaxed) < kCount) {
+        switch (deque.steal(out)) {
+          case ChaseLevDeque<std::int64_t>::StealResult::Success:
+            got[static_cast<std::size_t>(c) + 1].push_back(out);
+            taken.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case ChaseLevDeque<std::int64_t>::StealResult::Empty:
+            std::this_thread::yield();
+            break;
+          case ChaseLevDeque<std::int64_t>::StealResult::Abort:
+            break;  // lost the CAS; retry immediately
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_GT(deque.capacity(), 2u);  // growth actually happened
+  std::vector<std::int64_t> all;
+  for (const auto& v : got) all.insert(all.end(), v.begin(), v.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kCount));
+  std::sort(all.begin(), all.end());
+  for (std::int64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(all[static_cast<std::size_t>(i)], i)
+        << "conservation broke under concurrent growth";
+  }
+}
+
+}  // namespace
+}  // namespace ats

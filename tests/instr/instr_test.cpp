@@ -283,6 +283,37 @@ TEST(TraceAnalyzerTest, EmptyTraceYieldsZeroedAnalysis) {
   EXPECT_EQ(a.serveCount, 0u);
 }
 
+TEST(TraceAnalyzerTest, CountsStealsPerThreadAndOverall) {
+  const auto us = [](std::uint64_t v) { return v * 1000; };
+  std::vector<TraceRecord> r;
+  // Worker 0 runs two tasks it stole (victim slots 1 and 2); worker 1
+  // runs one local task; the spawner (stream 2) steals once — counted
+  // in the total but not attributed to any worker row.
+  r.push_back({us(0), 1, TraceEvent::SchedSteal, 0, 0});
+  r.push_back({us(10), 0xA, TraceEvent::TaskStart, 0, 0});
+  r.push_back({us(20), 0xA, TraceEvent::TaskEnd, 0, 0});
+  r.push_back({us(30), 2, TraceEvent::SchedSteal, 0, 0});
+  r.push_back({us(40), 0xB, TraceEvent::TaskStart, 0, 0});
+  r.push_back({us(50), 0xB, TraceEvent::TaskEnd, 0, 0});
+  r.push_back({us(60), 0xC, TraceEvent::TaskStart, 1, 0});
+  r.push_back({us(70), 0xC, TraceEvent::TaskEnd, 1, 0});
+  r.push_back({us(80), 0, TraceEvent::SchedSteal, 2, 0});
+  r.push_back({us(90), 0xD, TraceEvent::TaskStart, 2, 0});
+  r.push_back({us(100), 0xD, TraceEvent::TaskEnd, 2, 0});
+
+  const TraceAnalysis a = analyzeTrace(r, 2);
+  EXPECT_EQ(a.stealCount, 3u);
+  EXPECT_EQ(a.taskStartCount, 4u);
+  EXPECT_DOUBLE_EQ(a.stealRatio, 0.75);
+  ASSERT_EQ(a.threads.size(), 2u);
+  EXPECT_EQ(a.threads[0].steals, 2u);
+  EXPECT_EQ(a.threads[1].steals, 0u);
+
+  const std::string summary = formatAnalysis(a);
+  EXPECT_NE(summary.find("steals=3"), std::string::npos);
+  EXPECT_NE(summary.find("steal_ratio=75.0%"), std::string::npos);
+}
+
 TEST(TraceAnalyzerTest, FormatAndTimelineRenderTheHandBuiltTrace) {
   const std::vector<TraceRecord> records = handBuiltTrace();
   const std::string summary = formatAnalysis(analyzeTrace(records, 2));
@@ -354,7 +385,7 @@ TEST(TracedRuntimeTest, EverySchedulerKindEmitsUnderTracing) {
   constexpr int kTasks = 400;
   for (const SchedulerKind kind :
        {SchedulerKind::SyncDelegation, SchedulerKind::PTLockCentral,
-        SchedulerKind::CentralMutex}) {
+        SchedulerKind::CentralMutex, SchedulerKind::WorkStealing}) {
     Tracer tracer(2, 1u << 14);
     RuntimeConfig cfg = optimizedConfig(makeTopology(MachinePreset::Host, 2));
     cfg.scheduler = kind;

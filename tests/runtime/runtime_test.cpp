@@ -52,7 +52,8 @@ INSTANTIATE_TEST_SUITE_P(
                                          DepsKind::FineGrainedLocks),
                        ::testing::Values(SchedulerKind::SyncDelegation,
                                          SchedulerKind::PTLockCentral,
-                                         SchedulerKind::CentralMutex),
+                                         SchedulerKind::CentralMutex,
+                                         SchedulerKind::WorkStealing),
                        ::testing::Bool()),
     [](const auto& info) {
       return kindName(std::get<0>(info.param)) + "_" +
@@ -342,6 +343,7 @@ TEST(RuntimeConfigTest, MachinePresetConfigsShareConsistentDefaults) {
     EXPECT_EQ(config->schedBatchServe, reference.schedBatchServe);
     EXPECT_EQ(config->serveBurst, reference.serveBurst);
     EXPECT_EQ(config->spscCapacity, reference.spscCapacity);
+    EXPECT_EQ(config->stealProbeLimit, reference.stealProbeLimit);
     EXPECT_EQ(config->tracer, reference.tracer);  // factories never attach one
   }
   // The optimized configuration batches its delegation serving — batch

@@ -3,6 +3,7 @@
 #include "sched/policies.hpp"
 #include "sched/ptlock_scheduler.hpp"
 #include "sched/sync_scheduler.hpp"
+#include "sched/work_stealing_scheduler.hpp"
 
 #include <gtest/gtest.h>
 
@@ -30,6 +31,9 @@ std::unique_ptr<Scheduler> makeByName(const std::string& which,
   if (which == "ptlock")
     return std::make_unique<PTLockScheduler>(
         topo, std::make_unique<FifoPolicy>());
+  if (which == "work_steal")
+    return std::make_unique<WorkStealingScheduler>(
+        topo, WorkStealingScheduler::Options{.dequeCapacity = spscCapacity});
   // "sync_dtlock" runs the batched (default) serve; "sync_dtlock_serve1"
   // the Listing-5 serve-one ablation baseline.
   return std::make_unique<SyncScheduler>(
@@ -43,7 +47,8 @@ class EverySchedulerTest : public ::testing::TestWithParam<std::string> {};
 INSTANTIATE_TEST_SUITE_P(Designs, EverySchedulerTest,
                          ::testing::Values("central_mutex", "ptlock",
                                            "sync_dtlock",
-                                           "sync_dtlock_serve1"));
+                                           "sync_dtlock_serve1",
+                                           "work_steal"));
 
 TEST_P(EverySchedulerTest, EmptySchedulerReturnsNull) {
   auto sched = makeByName(GetParam(), 4);
@@ -186,10 +191,71 @@ TEST(SchedulerFactoryTest, BuildsTheConfiguredDesign) {
   EXPECT_STREQ(makeScheduler(withoutDTLockConfig(topo))->name(),
                "ptlock_central");
   EXPECT_STREQ(makeScheduler(optimizedConfig(topo))->name(), "sync_dtlock");
-  // Work stealing maps onto the delegation scheduler until its runtime
-  // lands.
+  // The real work-stealing design, not the former SyncScheduler alias.
   EXPECT_STREQ(makeScheduler(workStealingRuntimeConfig(topo))->name(),
-               "sync_dtlock");
+               "work_steal");
+}
+
+TEST(SchedulerFactoryTest, KindNamesMatchSchedulerNames) {
+  // schedulerKindName is the label benches and error paths print; it
+  // must agree with what the constructed scheduler calls itself.
+  const Topology topo = testTopo(4);
+  for (const SchedulerKind kind :
+       {SchedulerKind::CentralMutex, SchedulerKind::PTLockCentral,
+        SchedulerKind::SyncDelegation, SchedulerKind::WorkStealing}) {
+    RuntimeConfig config = optimizedConfig(topo);
+    config.scheduler = kind;
+    EXPECT_STREQ(makeScheduler(config)->name(), schedulerKindName(kind));
+  }
+}
+
+// RuntimeConfig cannot include the sched layer's header, so its default
+// duplicates the scheduler's constant; this is the guard that keeps the
+// two from drifting.
+static_assert(WorkStealingSchedulerOptions::kDefaultStealProbeLimit == 64);
+
+TEST(WorkStealingSchedulerTest, ConfigDefaultMirrorsSchedulerDefault) {
+  RuntimeConfig config;
+  EXPECT_EQ(config.stealProbeLimit,
+            WorkStealingSchedulerOptions::kDefaultStealProbeLimit);
+}
+
+TEST(WorkStealingSchedulerTest, ClampsProbeLimitToAtLeastOne) {
+  // stealProbeLimit = 0 would make remote-domain work unreachable; the
+  // constructor clamps it.
+  WorkStealingScheduler sched(testTopo(4),
+                              WorkStealingScheduler::Options{
+                                  .stealProbeLimit = 0});
+  EXPECT_EQ(sched.stealProbeLimit(), 1u);
+}
+
+TEST(WorkStealingSchedulerTest, SpawnerSlotDequeIsStealOnlyIngress) {
+  // Adds submitted from the reserved spawner slot (slot == numCpus) land
+  // in that slot's own deque and are reachable from any worker via the
+  // steal path — the external-submission story.
+  Topology topo = testTopo(4);
+  topo.reservedSlots = 1;  // what the Runtime does before construction
+  WorkStealingScheduler sched(topo);
+  std::vector<Task> pool(10);
+  for (auto& t : pool) sched.addReadyTask(&t, topo.numCpus);
+  for (auto& t : pool) EXPECT_EQ(sched.getReadyTask(2), &t);
+  EXPECT_EQ(sched.getReadyTask(2), nullptr);
+}
+
+TEST(WorkStealingSchedulerTest, LocalPopIsLifoThenStealsAreFifo) {
+  // The owner drains its own deque newest-first (depth-first fast
+  // path); a different slot then steals oldest-first.
+  WorkStealingScheduler sched(testTopo(4));
+  std::vector<Task> pool(6);
+  for (auto& t : pool) sched.addReadyTask(&t, 1);
+  EXPECT_EQ(sched.getReadyTask(1), &pool[5]);
+  EXPECT_EQ(sched.getReadyTask(1), &pool[4]);
+  EXPECT_EQ(sched.getReadyTask(2), &pool[0]);
+  EXPECT_EQ(sched.getReadyTask(2), &pool[1]);
+  EXPECT_EQ(sched.getReadyTask(1), &pool[3]);
+  EXPECT_EQ(sched.getReadyTask(1), &pool[2]);
+  EXPECT_EQ(sched.getReadyTask(1), nullptr);
+  EXPECT_EQ(sched.getReadyTask(2), nullptr);
 }
 
 // ------------------------------------------------------------- policies
