@@ -34,15 +34,23 @@ struct Topology {
   /// DTLock result slots): every worker plus every reserved slot.
   std::size_t slotCount() const { return numCpus + reservedSlots; }
 
-  /// Domain owning `cpu`, assuming the block-cyclic layout every preset
-  /// machine uses (consecutive CPUs fill a domain before the next).
-  /// Accepts any slot index: reserved slots fold onto a real CPU's
-  /// domain via the modulo.
-  std::size_t numaDomainOf(std::size_t cpu) const {
-    const std::size_t perDomain = cpusPerDomain();
-    const std::size_t domain = (cpu % numCpus) / perDomain;
+  /// Domain owning scheduler slot `slot` — the ONE place the
+  /// slot→domain rule lives (NumaFifoPolicy, the work-stealing victim
+  /// split, and the sharded AddBufferSet all route through it).  The
+  /// block-cyclic layout every preset machine uses: consecutive CPUs
+  /// fill a domain before the next.  Reserved slots (the Runtime's
+  /// spawner) fold onto a real CPU's domain via the modulo, and
+  /// degenerate hand-built shapes (zero CPUs or domains) collapse to
+  /// domain 0 instead of dividing by zero.
+  std::size_t domainOfSlot(std::size_t slot) const {
+    if (numCpus < 1 || numNumaDomains <= 1) return 0;
+    const std::size_t domain = (slot % numCpus) / cpusPerDomain();
     return domain < numNumaDomains ? domain : numNumaDomains - 1;
   }
+
+  /// Domain owning `cpu` — the physical-CPU reading of the same map.
+  /// Exact alias of domainOfSlot so the two cannot drift.
+  std::size_t numaDomainOf(std::size_t cpu) const { return domainOfSlot(cpu); }
 
   /// CPUs per NUMA domain, rounded up so every CPU maps somewhere.
   std::size_t cpusPerDomain() const {

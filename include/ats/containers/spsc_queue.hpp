@@ -67,6 +67,23 @@ class SpscQueue {
     return tail - head;
   }
 
+  /// Bounded consumeAll: drain at most `maxN` published values, FIFO,
+  /// still one index update at the end.  The per-domain burst drains use
+  /// this to cap how much work one lock hold performs; what stays behind
+  /// remains published for the next drain.  Returns the drained count.
+  template <typename F>
+  std::size_t consumeN(std::size_t maxN, F&& fn) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    cachedTail_ = tail;
+    const std::size_t avail = tail - head;
+    const std::size_t take = avail < maxN ? avail : maxN;
+    const std::size_t end = head + take;
+    for (std::size_t i = head; i != end; ++i) fn(std::move(slots_[i & mask_]));
+    head_.store(end, std::memory_order_release);
+    return take;
+  }
+
   std::size_t capacity() const { return capacity_; }
 
   /// Approximate when called concurrently with the other side.  Head is

@@ -19,11 +19,12 @@ namespace ats {
 struct TraceWriter {
   static constexpr char kMagic[8] = {'A', 'T', 'S', 'T', 'R', 'C', '1', 0};
   /// v2: SchedServe payload became "tasks handed off in the burst"
-  /// (was: waiter CPU).  The record layout is unchanged, but a v1
-  /// file's serve payloads would silently corrupt the analyzer's
-  /// servedTasks sum, so the version gate makes stale traces fail
-  /// loudly instead.
-  static constexpr std::uint32_t kVersion = 2;
+  /// (was: waiter CPU).  v3: that count split into the packed
+  /// local/remote hand-off pair (trace_event.hpp's packServePayload).
+  /// The record layout is unchanged each time, but a stale file's serve
+  /// payloads would silently skew the analyzer's served/cross-domain
+  /// sums, so the version gate makes old traces fail loudly instead.
+  static constexpr std::uint32_t kVersion = 3;
 
   /// Fixed 24-byte file header preceding the record array.
   struct BinaryHeader {

@@ -54,6 +54,13 @@ struct RuntimeConfig {
   /// SyncScheduler::kMaxServeBurst).
   std::size_t serveBurst = 16;
 
+  /// SyncDelegation batched serve groups popped waiters by NUMA domain
+  /// and pulls each group's tasks with the group's own locality view,
+  /// draining the waiters'-domain add-buffer shards first; false
+  /// restores holder-locality pulls + flat drains (micro_numa's
+  /// ablation baseline).  No effect on serve-one or other schedulers.
+  bool schedWaiterLocality = true;
+
   /// Slots in each per-CPU SPSC add-buffer (SyncDelegation and
   /// PTLockCentral), and the initial per-CPU deque capacity under
   /// WorkStealing (same "per-CPU buffer" knob; the deque grows past it).

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <memory>
 #include <vector>
 
+#include "common/topology.hpp"
 #include "containers/spsc_queue.hpp"
 #include "sched/scheduler.hpp"
 
@@ -17,16 +19,37 @@ struct Task;
 /// lock is the (serialized) consumer of all of them, so the dtlock and
 /// ptlock designs drain identical structures and their comparison
 /// isolates the lock protocol alone.
+///
+/// The rings are additionally sharded by NUMA domain
+/// (Topology::domainOfSlot): `drainDomain` lets the lock holder empty
+/// just the rings whose producers live on one domain — the waiters'
+/// domain during a batched serve, the getter's own during a refill — so
+/// the common drain touches a per-domain slice of cache lines instead
+/// of every CPU's.  `drainInto` keeps the flat everything-pass as the
+/// fallback that guarantees no ring can be stranded.
 class AddBufferSet {
  public:
-  AddBufferSet(std::size_t numCpus, std::size_t capacity) {
-    buffers_.reserve(numCpus);
-    for (std::size_t cpu = 0; cpu < numCpus; ++cpu) {
+  /// "No cap" sentinel for drainDomain's maxTasks.
+  static constexpr std::size_t kNoCap = ~std::size_t{0};
+
+  AddBufferSet(const Topology& topo, std::size_t capacity) {
+    const std::size_t slots = std::max<std::size_t>(1, topo.slotCount());
+    buffers_.reserve(slots);
+    for (std::size_t slot = 0; slot < slots; ++slot) {
       buffers_.push_back(std::make_unique<SpscQueue<Task*>>(capacity));
+    }
+    const std::size_t domains =
+        std::max<std::size_t>(1, topo.numNumaDomains);
+    domainSlots_.resize(domains);
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+      std::size_t domain = topo.domainOfSlot(slot);
+      if (domain >= domains) domain = domains - 1;
+      domainSlots_[domain].push_back(slot);
     }
   }
 
   std::size_t numCpus() const { return buffers_.size(); }
+  std::size_t numDomains() const { return domainSlots_.size(); }
 
   /// Wait-free; false when cpu's buffer is full (caller runs the
   /// overflow drain protocol under the lock).
@@ -48,8 +71,26 @@ class AddBufferSet {
     return drained;
   }
 
+  /// Drain at most `maxTasks` adds from ONE domain's rings into the
+  /// policy (each ring still drained FIFO, rings in slot order, one
+  /// index update per touched ring).  Caller must hold the scheduler's
+  /// lock.  Returns the number moved — the same SchedDrain currency as
+  /// drainInto.
+  std::size_t drainDomain(SchedulerPolicy& policy, std::size_t domain,
+                          std::size_t maxTasks = kNoCap) {
+    std::size_t drained = 0;
+    for (const std::size_t slot : domainSlots_[domain]) {
+      if (drained >= maxTasks) break;
+      drained += buffers_[slot]->consumeN(maxTasks - drained, [&](Task* task) {
+        policy.addTask(task, slot);
+      });
+    }
+    return drained;
+  }
+
  private:
   std::vector<std::unique_ptr<SpscQueue<Task*>>> buffers_;
+  std::vector<std::vector<std::size_t>> domainSlots_;
 };
 
 }  // namespace ats

@@ -128,12 +128,12 @@ class NumaFifoPolicy final : public SchedulerPolicy {
 
  private:
   std::size_t domainOf(std::size_t cpu) const {
-    // The scheduler's topology may carry reserved slots beyond the real
-    // CPUs (the Runtime's spawner slot); numaDomainOf folds any slot
-    // index onto a real CPU's domain via `cpu % numCpus`, so the
-    // spawner (slot numCpus) simply shares domain 0's queue and the
-    // worker CPU->domain map stays the physical block-cyclic one.
-    const std::size_t domain = topo_.numaDomainOf(cpu);
+    // Topology::domainOfSlot owns the slot→domain rule (reserved slots —
+    // the Runtime's spawner — fold onto a real CPU's domain, so the
+    // spawner simply shares domain 0's queue); the clamp covers
+    // hand-built topologies whose domain count exceeds our normalized
+    // queue count.
+    const std::size_t domain = topo_.domainOfSlot(cpu);
     return domain < domains_.size() ? domain : domains_.size() - 1;
   }
 

@@ -28,6 +28,13 @@ struct SyncSchedulerOptions {
   std::size_t spscCapacity = kDefaultSpscCapacity;
   bool batchServe = true;  ///< false = serve-one ablation baseline
   std::size_t serveBurst = kDefaultServeBurst;  ///< clamped to kMaxServeBurst
+  /// Batched serve groups the popped waiters by NUMA domain and pulls
+  /// each group's tasks with the GROUP's own locality view, preferring
+  /// the waiters'-domain add-buffer shards when refilling; false
+  /// restores the PR-5 holder-locality pull and flat drains —
+  /// micro_numa's ablation baseline.  Serve-one mode ignores it (that
+  /// path always pulls per-waiter).
+  bool waiterLocality = true;
 };
 
 /// The paper's scheduler (§3): per-CPU wait-free SPSC add-buffers in
@@ -64,8 +71,9 @@ class SyncScheduler final : public Scheduler {
   static constexpr std::size_t kMaxServeBurst = Options::kMaxServeBurst;
 
   /// Traced variant emits SchedDrain per non-empty add-buffer drain and
-  /// one SchedServe per serve burst with the hand-off count as payload
-  /// (serve-one mode emits per hand-off, count 1).
+  /// one SchedServe per serve burst with the packed local/remote
+  /// hand-off counts as payload (trace_event.hpp's packServePayload;
+  /// serve-one mode emits per hand-off, local count 1).
   SyncScheduler(Topology topo, std::unique_ptr<SchedulerPolicy> policy,
                 Options options = {}, Tracer* tracer = nullptr);
 
@@ -87,6 +95,7 @@ class SyncScheduler final : public Scheduler {
   AddBufferSet addBuffers_;
   const bool batchServe_;
   const std::size_t serveBurst_;
+  const bool waiterLocality_;
 };
 
 }  // namespace ats

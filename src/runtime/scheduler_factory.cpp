@@ -28,8 +28,11 @@ std::unique_ptr<Scheduler> makeScheduler(const RuntimeConfig& config) {
     case SchedulerKind::SyncDelegation:
       return std::make_unique<SyncScheduler>(
           config.topo, makePolicy(config.policy, config.topo),
-          SyncScheduler::Options{config.spscCapacity, config.schedBatchServe,
-                                 config.serveBurst},
+          SyncScheduler::Options{.spscCapacity = config.spscCapacity,
+                                 .batchServe = config.schedBatchServe,
+                                 .serveBurst = config.serveBurst,
+                                 .waiterLocality =
+                                     config.schedWaiterLocality},
           config.tracer);
     case SchedulerKind::WorkStealing:
       return std::make_unique<WorkStealingScheduler>(

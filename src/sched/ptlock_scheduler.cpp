@@ -8,6 +8,12 @@
 
 namespace ats {
 
+namespace {
+/// Cap on the own-domain burst drain in getReadyTask — same order as
+/// SyncScheduler's kMaxServeBurst, bounding work done per lock hold.
+constexpr std::size_t kLocalDrainBurst = 64;
+}  // namespace
+
 PTLockScheduler::PTLockScheduler(Topology topo,
                                  std::unique_ptr<SchedulerPolicy> policy,
                                  std::size_t spscCapacity,
@@ -18,7 +24,7 @@ PTLockScheduler::PTLockScheduler(Topology topo,
       topo_(std::move(topo)),
       lock_(std::max<std::size_t>(64, topo_.slotCount() * 2)),
       policy_(std::move(policy)),
-      addBuffers_(topo_.slotCount(), spscCapacity) {}
+      addBuffers_(topo_, spscCapacity) {}
 
 void PTLockScheduler::addReadyTask(Task* task, std::size_t cpu) {
   assert(cpu < addBuffers_.numCpus());
@@ -32,7 +38,11 @@ void PTLockScheduler::addReadyTask(Task* task, std::size_t cpu) {
   bool contendedLogged = false;
   while (!addBuffers_.tryPush(task, cpu)) {
     if (lock_.tryLock()) {
-      emitDrain(cpu, addBuffers_.drainInto(*policy_));
+      // Our own domain's shard is enough to empty the full ring; other
+      // domains' adds stay put until a getter goes dry (flat fallback
+      // below), keeping the overflow drain off remote cache lines.
+      emitDrain(cpu,
+                addBuffers_.drainDomain(*policy_, topo_.domainOfSlot(cpu)));
       policy_->addTask(task, cpu);
       lock_.unlock();
       return;
@@ -56,8 +66,16 @@ Task* PTLockScheduler::getReadyTask(std::size_t cpu) {
   // contention event here: get-side lock misses happen at poll frequency
   // and the starvation they cause is already visible as WorkerIdle*.
   if (!lock_.tryLock()) return nullptr;
-  emitDrain(cpu, addBuffers_.drainInto(*policy_));
+  // Getter's own-domain shard first (bounded): the sharded §3.1 drain.
+  // The flat everything-pass runs only when the policy is dry, so a
+  // domain with producers but no getters can never strand its adds.
+  emitDrain(cpu, addBuffers_.drainDomain(*policy_, topo_.domainOfSlot(cpu),
+                                         kLocalDrainBurst));
   Task* task = policy_->getTask(cpu);
+  if (task == nullptr) {
+    emitDrain(cpu, addBuffers_.drainInto(*policy_));
+    task = policy_->getTask(cpu);
+  }
   lock_.unlock();
   return task;
 }

@@ -17,23 +17,33 @@ SyncScheduler::SyncScheduler(Topology topo,
       lock_(std::max<std::size_t>(64, topo_.slotCount() * 2),
             std::max<std::size_t>(64, topo_.slotCount())),
       policy_(std::move(policy)),
-      addBuffers_(topo_.slotCount(), options.spscCapacity),
+      addBuffers_(topo_, options.spscCapacity),
       batchServe_(options.batchServe),
       serveBurst_(std::clamp<std::size_t>(options.serveBurst, 1,
-                                          kMaxServeBurst)) {}
+                                          kMaxServeBurst)),
+      waiterLocality_(options.waiterLocality) {}
 
 void SyncScheduler::addReadyTask(Task* task, std::size_t cpu) {
   assert(cpu < addBuffers_.numCpus());
   if (addBuffers_.tryPush(task, cpu)) return;
 
   // Overflow protocol: join the FIFO queue and become the server for a
-  // moment — drain everything, then answer queued getReadyTask
-  // delegations.  Unlike the PTLock scheduler, queueing a ticket here is
-  // safe AND useful: getters that pile up behind a queued adder land in
-  // the delegation queue and are retired in one combined burst when the
-  // adder enters, instead of each needing its own lock hand-off.
+  // moment — drain, then answer queued getReadyTask delegations.  Unlike
+  // the PTLock scheduler, queueing a ticket here is safe AND useful:
+  // getters that pile up behind a queued adder land in the delegation
+  // queue and are retired in one combined burst when the adder enters,
+  // instead of each needing its own lock hand-off.
   lock_.lock();
-  emitDrain(cpu, addBuffers_.drainInto(*policy_));
+  if (waiterLocality_) {
+    // The full ring is ours, and so is its whole domain shard: draining
+    // it (unbounded) empties our ring without pulling every other
+    // domain's cache lines through this core.  Other domains' adds keep
+    // riding their rings until a getter goes dry and runs the flat
+    // fallback below.
+    emitDrain(cpu, addBuffers_.drainDomain(*policy_, topo_.domainOfSlot(cpu)));
+  } else {
+    emitDrain(cpu, addBuffers_.drainInto(*policy_));
+  }
   policy_->addTask(task, cpu);
   serveWaiters(cpu);
   lock_.unlock();
@@ -45,8 +55,24 @@ Task* SyncScheduler::getReadyTask(std::size_t cpu) {
   if (!lock_.lockOrDelegate(cpu, item)) {
     return reinterpret_cast<Task*>(item);  // served by the lock holder
   }
-  emitDrain(cpu, addBuffers_.drainInto(*policy_));
-  Task* task = policy_->getTask(cpu);
+  Task* task = nullptr;
+  if (waiterLocality_) {
+    // Own-domain shard first, bounded: the holder is its own first
+    // waiter, and a NUMA-aware policy will hand back what this drain
+    // just filed locally.  Only when the policy is dry after that does
+    // the flat pass run — the guarantee that a domain with producers but
+    // no getters still drains.
+    emitDrain(cpu, addBuffers_.drainDomain(*policy_, topo_.domainOfSlot(cpu),
+                                           serveBurst_));
+    task = policy_->getTask(cpu);
+    if (task == nullptr) {
+      emitDrain(cpu, addBuffers_.drainInto(*policy_));
+      task = policy_->getTask(cpu);
+    }
+  } else {
+    emitDrain(cpu, addBuffers_.drainInto(*policy_));
+    task = policy_->getTask(cpu);
+  }
   serveWaiters(cpu);
   lock_.unlock();
   return task;
@@ -69,6 +95,7 @@ void SyncScheduler::serveWaitersBatched(std::size_t cpu,
   std::uint64_t waiterCpus[kMaxServeBurst];
   Task* tasks[kMaxServeBurst];
   std::uintptr_t items[kMaxServeBurst];
+  const std::size_t holderDomain = topo_.domainOfSlot(cpu);
   bool refilled = false;
   std::size_t served = 0;
   while (served < maxServes) {
@@ -76,31 +103,109 @@ void SyncScheduler::serveWaitersBatched(std::size_t cpu,
         std::min(serveBurst_, maxServes - served);
     const std::size_t n = lock_.popWaiters(waiterCpus, want);
     if (n == 0) break;
-    // One bulk policy pull for the whole batch.  The pull is made from
-    // the HOLDER's locality view — a flat-combining trade-off a
-    // NUMA-aware policy feels (served waiters may receive holder-local
-    // tasks); serve-one keeps per-waiter affinity (see DESIGN.md).
-    std::size_t got = policy_->getTasks(tasks, n, cpu);
-    if (got < n && !refilled) {
-      // Refill before answering "nothing ready" — but at most once per
-      // combining burst: an idle spin of delegating waiters must not
-      // turn the holder into a drain loop.
-      refilled = true;
-      emitDrain(cpu, addBuffers_.drainInto(*policy_));
-      got += policy_->getTasks(tasks + got, n - got, cpu);
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      items[i] =
-          reinterpret_cast<std::uintptr_t>(i < got ? tasks[i] : nullptr);
+    std::uint64_t localGot = 0;
+    std::uint64_t remoteGot = 0;
+    std::size_t totalGot = 0;
+    if (!waiterLocality_) {
+      // Holder-locality pull (the PR-5 behavior, kept as micro_numa's
+      // ablation baseline): one bulk policy pull for the whole batch,
+      // made from the HOLDER's locality view, with at most one flat
+      // refill per combining burst.
+      std::size_t got = policy_->getTasks(tasks, n, cpu);
+      if (got < n && !refilled) {
+        refilled = true;
+        emitDrain(cpu, addBuffers_.drainInto(*policy_));
+        got += policy_->getTasks(tasks + got, n - got, cpu);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        items[i] =
+            reinterpret_cast<std::uintptr_t>(i < got ? tasks[i] : nullptr);
+      }
+      for (std::size_t i = 0; i < got; ++i) {
+        const std::size_t waiterDomain =
+            topo_.domainOfSlot(static_cast<std::size_t>(waiterCpus[i]));
+        if (waiterDomain == holderDomain) ++localGot; else ++remoteGot;
+      }
+      totalGot = got;
+    } else {
+      // Waiter-locality: group the popped batch by NUMA domain and make
+      // one bulk pull per group from the GROUP's own view, so a
+      // NUMA-aware policy hands each waiter its own domain's tasks.
+      // Answers are assembled into `items` in pop order and still
+      // published behind ONE release fence (the single serveBatch
+      // below) — the grouping only changes which pull fills which slot,
+      // not the §8 publication protocol.
+      std::uint8_t waiterDomain[kMaxServeBurst];
+      bool grouped[kMaxServeBurst] = {};
+      std::size_t groupIdx[kMaxServeBurst];
+      for (std::size_t i = 0; i < n; ++i) {
+        items[i] = 0;
+        waiterDomain[i] = static_cast<std::uint8_t>(
+            topo_.domainOfSlot(static_cast<std::size_t>(waiterCpus[i])));
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (grouped[i]) continue;
+        const std::uint8_t domain = waiterDomain[i];
+        std::size_t m = 0;
+        for (std::size_t j = i; j < n; ++j) {
+          if (!grouped[j] && waiterDomain[j] == domain) {
+            grouped[j] = true;
+            groupIdx[m++] = j;
+          }
+        }
+        const std::size_t waiterView =
+            static_cast<std::size_t>(waiterCpus[i]);
+        std::size_t got = policy_->getTasks(tasks, m, waiterView);
+        if (got < m) {
+          // Short for this group: drain the WAITERS' domain's shard
+          // (bounded, so one group cannot turn the hold into a drain
+          // loop) and retry before touching any other domain.
+          emitDrain(cpu, addBuffers_.drainDomain(*policy_, domain,
+                                                 serveBurst_));
+          got += policy_->getTasks(tasks + got, m - got, waiterView);
+        }
+        for (std::size_t k = 0; k < got; ++k) {
+          items[groupIdx[k]] = reinterpret_cast<std::uintptr_t>(tasks[k]);
+        }
+        localGot += got;  // pulled with the waiters' own locality view
+        totalGot += got;
+      }
+      if (totalGot < n && !refilled) {
+        // Some waiters still have no answer and their domains' shards
+        // are dry: one flat refill per burst (the same once-per-burst
+        // rule as ever), then one holder-view pull for the leftovers.
+        // These are the potentially cross-domain hand-offs the trace
+        // payload records.
+        refilled = true;
+        emitDrain(cpu, addBuffers_.drainInto(*policy_));
+        std::size_t unfilled[kMaxServeBurst];
+        std::size_t m = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (items[i] == 0) unfilled[m++] = i;
+        }
+        const std::size_t got = policy_->getTasks(tasks, m, cpu);
+        for (std::size_t k = 0; k < got; ++k) {
+          const std::size_t i = unfilled[k];
+          items[i] = reinterpret_cast<std::uintptr_t>(tasks[k]);
+          if (waiterDomain[i] == static_cast<std::uint8_t>(holderDomain)) {
+            ++localGot;
+          } else {
+            ++remoteGot;
+          }
+        }
+        totalGot += got;
+      }
     }
     lock_.serveBatch(waiterCpus, items, n);
-    // One coalesced SchedServe per batch, hand-off count as payload —
-    // and only when something was actually handed off (idle waiters
-    // re-delegate continuously; see the Scheduler contract).
-    if (tracer_ != nullptr && got != 0)
-      tracer_->emit(cpu, TraceEvent::SchedServe, got);
+    // One coalesced SchedServe per batch, the local/remote hand-off
+    // split packed as payload — and only when something was actually
+    // handed off (idle waiters re-delegate continuously; see the
+    // Scheduler contract).
+    if (tracer_ != nullptr && totalGot != 0)
+      tracer_->emit(cpu, TraceEvent::SchedServe,
+                    packServePayload(localGot, remoteGot));
     served += n;
-    if (got < n) break;  // policy dry even after the one refill
+    if (totalGot < n) break;  // policy dry even after the one refill
   }
 }
 
@@ -120,8 +225,10 @@ void SyncScheduler::serveWaitersOneByOne(std::size_t cpu,
     // Only actual hand-offs are trace-worthy: idle waiters re-delegate
     // continuously, and logging every empty answer would saturate the
     // holder's ring with "nothing happened" (see the Scheduler contract).
+    // The per-waiter getTask above IS the waiter's own view, so the
+    // hand-off is local by construction.
     if (tracer_ != nullptr && task != nullptr)
-      tracer_->emit(cpu, TraceEvent::SchedServe, 1);
+      tracer_->emit(cpu, TraceEvent::SchedServe, packServePayload(1, 0));
     lock_.serve(reinterpret_cast<std::uintptr_t>(task));
   }
 }

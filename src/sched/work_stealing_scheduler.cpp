@@ -22,19 +22,20 @@ WorkStealingScheduler::WorkStealingScheduler(Topology topo, Options options,
   cursors_ = std::make_unique<ProbeCursor[]>(slots);
 
   // Victim orders, fixed at construction: for slot s, walk the slot
-  // ring starting at s+1 and split by NUMA domain (numaDomainOf folds
-  // reserved slots — the spawner — onto a real CPU's domain, exactly as
-  // NumaFifoPolicy does, so the spawner's deque is a local victim for
-  // domain 0's workers and vice versa).  Ring order keeps any two
-  // slots' victim lists rotations of each other, spreading first-probe
-  // pressure instead of having every thief hammer slot 0 first.
+  // ring starting at s+1 and split by NUMA domain (Topology::domainOfSlot
+  // is the one shared slot→domain rule — reserved slots, i.e. the
+  // spawner, fold onto a real CPU's domain, so the spawner's deque is a
+  // local victim for domain 0's workers and vice versa).  Ring order
+  // keeps any two slots' victim lists rotations of each other, spreading
+  // first-probe pressure instead of having every thief hammer slot 0
+  // first.
   localVictims_.resize(slots);
   remoteVictims_.resize(slots);
   for (std::size_t s = 0; s < slots; ++s) {
-    const std::size_t home = topo_.numaDomainOf(s);
+    const std::size_t home = topo_.domainOfSlot(s);
     for (std::size_t i = 1; i < slots; ++i) {
       const std::size_t v = (s + i) % slots;
-      auto& list = topo_.numaDomainOf(v) == home ? localVictims_[s]
+      auto& list = topo_.domainOfSlot(v) == home ? localVictims_[s]
                                                  : remoteVictims_[s];
       list.push_back(static_cast<std::uint32_t>(v));
     }

@@ -66,6 +66,58 @@ TEST(Topology, ReservedSlotsDoNotShiftTheDomainMap) {
   EXPECT_EQ(topo.numaDomainOf(4), 0u);
 }
 
+TEST(Topology, DomainOfSlotPinsEveryPresetShape) {
+  // domainOfSlot is the ONE shared slot→domain rule (NumaFifoPolicy, the
+  // work-stealing victim split, and the AddBufferSet shards all route
+  // through it); pin every preset's map, including the reserved spawner
+  // slot's fold onto domain 0.
+  Topology xeon = makeTopology(MachinePreset::Xeon);
+  xeon.reservedSlots = 1;
+  EXPECT_EQ(xeon.domainOfSlot(0), 0u);
+  EXPECT_EQ(xeon.domainOfSlot(23), 0u);
+  EXPECT_EQ(xeon.domainOfSlot(24), 1u);
+  EXPECT_EQ(xeon.domainOfSlot(47), 1u);
+  EXPECT_EQ(xeon.domainOfSlot(48), 0u);  // spawner slot folds
+
+  Topology rome = makeTopology(MachinePreset::Rome);
+  rome.reservedSlots = 1;
+  EXPECT_EQ(rome.domainOfSlot(0), 0u);
+  EXPECT_EQ(rome.domainOfSlot(15), 0u);
+  EXPECT_EQ(rome.domainOfSlot(16), 1u);
+  EXPECT_EQ(rome.domainOfSlot(127), 7u);
+  EXPECT_EQ(rome.domainOfSlot(128), 0u);
+
+  Topology graviton = makeTopology(MachinePreset::Graviton);
+  graviton.reservedSlots = 1;
+  for (std::size_t slot = 0; slot < graviton.slotCount(); ++slot) {
+    EXPECT_EQ(graviton.domainOfSlot(slot), 0u);
+  }
+}
+
+TEST(Topology, DomainOfSlotAndNumaDomainOfNeverDrift) {
+  // numaDomainOf is documented as an exact alias; if the two ever
+  // diverge, the policy's queues and the add-buffer shards would
+  // disagree about where a slot's tasks live.
+  for (const MachinePreset preset :
+       {MachinePreset::Xeon, MachinePreset::Rome, MachinePreset::Graviton}) {
+    Topology topo = makeTopology(preset);
+    topo.reservedSlots = 1;
+    for (std::size_t slot = 0; slot < topo.slotCount(); ++slot) {
+      EXPECT_EQ(topo.domainOfSlot(slot), topo.numaDomainOf(slot));
+      EXPECT_LT(topo.domainOfSlot(slot), topo.numNumaDomains);
+    }
+  }
+}
+
+TEST(Topology, DomainOfSlotToleratesDegenerateShapes) {
+  // Hand-built zero shapes must collapse to domain 0, not divide by zero.
+  Topology topo;
+  topo.numCpus = 0;
+  topo.numNumaDomains = 0;
+  EXPECT_EQ(topo.domainOfSlot(0), 0u);
+  EXPECT_EQ(topo.domainOfSlot(7), 0u);
+}
+
 TEST(Topology, PresetNames) {
   EXPECT_STREQ(presetName(MachinePreset::Host), "host");
   EXPECT_STREQ(presetName(MachinePreset::Xeon), "xeon");

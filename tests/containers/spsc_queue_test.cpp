@@ -88,6 +88,47 @@ TEST(SpscQueue, ConsumeAllDrainsBatchInOrder) {
   EXPECT_EQ(got.size(), 10u);
 }
 
+TEST(SpscQueue, ConsumeNDrainsBoundedPrefixInOrder) {
+  SpscQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(q.push(i));
+
+  std::vector<int> got;
+  EXPECT_EQ(q.consumeN(4, [&](int v) { got.push_back(v); }), 4u);
+  EXPECT_EQ(q.size(), 6u);
+  // What stayed behind is still published, still FIFO; an over-large cap
+  // degrades to consumeAll.
+  EXPECT_EQ(q.consumeN(100, [&](int v) { got.push_back(v); }), 6u);
+  ASSERT_EQ(got.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+  EXPECT_TRUE(q.empty());
+
+  // Empty drain and zero-cap drain are no-ops returning zero.
+  EXPECT_EQ(q.consumeN(4, [](int) {}), 0u);
+  ASSERT_TRUE(q.push(42));
+  EXPECT_EQ(q.consumeN(0, [](int) {}), 0u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(SpscQueue, ConsumeNAcrossWrapAround) {
+  SpscQueue<int> q(4);  // tiny capacity: every partial drain straddles the mask
+  int pushed = 0;
+  int expected = 0;
+  for (int round = 0; round < 40; ++round) {
+    while (q.push(pushed)) ++pushed;
+    const std::size_t drained = q.consumeN(3, [&](int v) {
+      ASSERT_EQ(v, expected);
+      ++expected;
+    });
+    ASSERT_LE(drained, 3u);
+  }
+  q.consumeAll([&](int v) {
+    ASSERT_EQ(v, expected);
+    ++expected;
+  });
+  EXPECT_EQ(expected, pushed);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(SpscQueue, MoveOnlyElements) {
   SpscQueue<std::unique_ptr<int>> q(4);
   ASSERT_TRUE(q.push(std::make_unique<int>(7)));

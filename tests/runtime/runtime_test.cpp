@@ -227,6 +227,87 @@ TEST_P(SchedTuningMatrixTest, InoutChainStaysStrictlyOrdered) {
   }
 }
 
+/// The NUMA dimension of the ISSUE-7 waiter-locality work: the Rome
+/// preset (8 domains at full width, several at 8 workers) crossed with
+/// waiter-locality on/off and a plain-vs-NUMA policy, so the grouped
+/// serve path and its holder-locality ablation both keep the
+/// conservation and ordering laws on a genuinely multi-domain map.
+using NumaKnobs = std::tuple<PolicyKind, bool>;
+
+class NumaMatrixTest : public ::testing::TestWithParam<NumaKnobs> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Knobs, NumaMatrixTest,
+    ::testing::Combine(::testing::Values(PolicyKind::Fifo,
+                                         PolicyKind::NumaFifo),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      std::string name =
+          std::get<0>(info.param) == PolicyKind::Fifo ? "Fifo" : "NumaFifo";
+      return name + (std::get<1>(info.param) ? "_WaiterLocality"
+                                             : "_HolderLocality");
+    });
+
+TEST_P(NumaMatrixTest, SpawnTaskwaitConservesEveryTaskExactlyOnce) {
+  constexpr int kTasks = 2000;
+  const auto [policy, waiterLocality] = GetParam();
+  RuntimeConfig config = makeRomeConfig(8);
+  config.policy = policy;
+  config.schedWaiterLocality = waiterLocality;
+  // Small buffers so the domain-sharded overflow drain runs constantly.
+  config.spscCapacity = 32;
+  Runtime rt(config);
+
+  // Two batches so the second exercises descriptor recycling through the
+  // domain-sharded pool depots too.
+  for (int batch = 0; batch < 2; ++batch) {
+    std::vector<std::atomic<int>> ran(kTasks);
+    std::atomic<int> total{0};
+    for (int i = 0; i < kTasks; ++i) {
+      rt.spawn({}, [&ran, &total, i] {
+        ran[static_cast<std::size_t>(i)].fetch_add(
+            1, std::memory_order_relaxed);
+        total.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    rt.taskwait();
+    EXPECT_EQ(total.load(), kTasks) << "batch " << batch;
+    for (int i = 0; i < kTasks; ++i) {
+      ASSERT_EQ(ran[static_cast<std::size_t>(i)].load(), 1)
+          << "task " << i << " in batch " << batch
+          << " ran zero or multiple times";
+    }
+  }
+}
+
+TEST_P(NumaMatrixTest, InoutChainStaysStrictlyOrdered) {
+  constexpr int kLinks = 300;
+  const auto [policy, waiterLocality] = GetParam();
+  RuntimeConfig config = makeRomeConfig(8);
+  config.policy = policy;
+  config.schedWaiterLocality = waiterLocality;
+  Runtime rt(config);
+
+  // Dependency order must survive the domain-grouped serve: a group
+  // being answered from its own domain's view must never let a link
+  // start before its predecessor's release publishes the chain.
+  long long counter = 0;
+  std::vector<long long> observed(kLinks, -1);
+  for (int i = 0; i < kLinks; ++i) {
+    rt.spawn({inout(counter)}, [&counter, &observed, i] {
+      observed[static_cast<std::size_t>(i)] = counter;
+      ++counter;
+    });
+  }
+  rt.taskwait();
+
+  EXPECT_EQ(counter, kLinks);
+  for (int i = 0; i < kLinks; ++i) {
+    ASSERT_EQ(observed[static_cast<std::size_t>(i)], i)
+        << "chain link " << i << " ran out of order";
+  }
+}
+
 /// Non-matrix runtime behaviors, default (optimized) configuration.
 TEST(RuntimeTest, RawFunctionPointerSpawn) {
   Runtime rt(optimizedConfig(makeTopology(MachinePreset::Host, 2)));
@@ -342,6 +423,7 @@ TEST(RuntimeConfigTest, MachinePresetConfigsShareConsistentDefaults) {
     EXPECT_EQ(config->policy, reference.policy);
     EXPECT_EQ(config->schedBatchServe, reference.schedBatchServe);
     EXPECT_EQ(config->serveBurst, reference.serveBurst);
+    EXPECT_EQ(config->schedWaiterLocality, reference.schedWaiterLocality);
     EXPECT_EQ(config->spscCapacity, reference.spscCapacity);
     EXPECT_EQ(config->stealProbeLimit, reference.stealProbeLimit);
     EXPECT_EQ(config->tracer, reference.tracer);  // factories never attach one
@@ -349,6 +431,7 @@ TEST(RuntimeConfigTest, MachinePresetConfigsShareConsistentDefaults) {
   // The optimized configuration batches its delegation serving — batch
   // serve IS the §8 optimization, not an opt-in.
   EXPECT_TRUE(reference.schedBatchServe);
+  EXPECT_TRUE(reference.schedWaiterLocality);
   EXPECT_EQ(reference.policy, PolicyKind::Fifo);
   EXPECT_EQ(xeon.topo.preset, MachinePreset::Xeon);
   EXPECT_EQ(rome.topo.preset, MachinePreset::Rome);

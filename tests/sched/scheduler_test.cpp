@@ -34,6 +34,25 @@ std::unique_ptr<Scheduler> makeByName(const std::string& which,
   if (which == "work_steal")
     return std::make_unique<WorkStealingScheduler>(
         topo, WorkStealingScheduler::Options{.dequeCapacity = spscCapacity});
+  // Rome-preset variants pin the multi-domain paths: `cpus` CPUs shrink
+  // the 8-domain preset to one CPU per domain, so every waiter group and
+  // add-buffer shard is its own domain and the NumaFifo policy's queues
+  // are maximally split.  "_holder" turns waiter-locality off (the PR-5
+  // holder-locality serve), so both sides of the micro_numa ablation
+  // keep the conservation and ordering laws.
+  if (which == "sync_dtlock_rome" || which == "sync_dtlock_rome_holder") {
+    const Topology rome = makeTopology(MachinePreset::Rome, cpus);
+    return std::make_unique<SyncScheduler>(
+        rome, std::make_unique<NumaFifoPolicy>(rome),
+        SyncScheduler::Options{.spscCapacity = spscCapacity,
+                               .waiterLocality =
+                                   which == "sync_dtlock_rome"});
+  }
+  if (which == "ptlock_rome") {
+    const Topology rome = makeTopology(MachinePreset::Rome, cpus);
+    return std::make_unique<PTLockScheduler>(
+        rome, std::make_unique<NumaFifoPolicy>(rome), spscCapacity);
+  }
   // "sync_dtlock" runs the batched (default) serve; "sync_dtlock_serve1"
   // the Listing-5 serve-one ablation baseline.
   return std::make_unique<SyncScheduler>(
@@ -46,8 +65,11 @@ class EverySchedulerTest : public ::testing::TestWithParam<std::string> {};
 
 INSTANTIATE_TEST_SUITE_P(Designs, EverySchedulerTest,
                          ::testing::Values("central_mutex", "ptlock",
+                                           "ptlock_rome",
                                            "sync_dtlock",
                                            "sync_dtlock_serve1",
+                                           "sync_dtlock_rome",
+                                           "sync_dtlock_rome_holder",
                                            "work_steal"));
 
 TEST_P(EverySchedulerTest, EmptySchedulerReturnsNull) {
@@ -182,6 +204,57 @@ TEST(SyncSchedulerTest, UnitServeBurstStillConservesUnderContention) {
   ASSERT_EQ(all.size(), kTasks);
   std::sort(all.begin(), all.end());
   for (std::size_t i = 0; i < kTasks; ++i) ASSERT_EQ(all[i], &pool[i]);
+}
+
+TEST(AddBufferSetTest, DomainDrainIsShardedAndBounded) {
+  Topology topo;
+  topo.numCpus = 4;
+  topo.numNumaDomains = 2;  // slots 0,1 -> domain 0; 2,3 -> domain 1
+  topo.reservedSlots = 1;   // slot 4 folds into domain 0's shard
+  AddBufferSet buffers(topo, 16);
+  EXPECT_EQ(buffers.numCpus(), 5u);
+  EXPECT_EQ(buffers.numDomains(), 2u);
+
+  FifoPolicy fifo;
+  std::vector<Task> pool(5);
+  ASSERT_TRUE(buffers.tryPush(&pool[0], 0));
+  ASSERT_TRUE(buffers.tryPush(&pool[1], 1));
+  ASSERT_TRUE(buffers.tryPush(&pool[2], 4));  // reserved slot, domain 0
+  ASSERT_TRUE(buffers.tryPush(&pool[3], 2));
+  ASSERT_TRUE(buffers.tryPush(&pool[4], 3));
+
+  // Domain 0's drain covers slots 0, 1 and the folded spawner slot —
+  // and leaves domain 1's rings untouched.
+  EXPECT_EQ(buffers.drainDomain(fifo, 0), 3u);
+  // Bounded drain takes exactly the cap and leaves the rest published.
+  EXPECT_EQ(buffers.drainDomain(fifo, 1, 1), 1u);
+  EXPECT_EQ(buffers.drainDomain(fifo, 1), 1u);
+  EXPECT_EQ(buffers.drainInto(fifo), 0u);
+
+  std::vector<Task*> got;
+  while (Task* t = fifo.getTask(0)) got.push_back(t);
+  ASSERT_EQ(got.size(), pool.size());
+  std::sort(got.begin(), got.end());
+  for (std::size_t i = 0; i < pool.size(); ++i) EXPECT_EQ(got[i], &pool[i]);
+}
+
+/// The starvation guarantee behind the domain-first drains: a domain
+/// with producers but NO getters must still drain.  The waiter-locality
+/// serve prefers the waiters' own shards, but when the policy runs dry
+/// the flat fallback reaches every ring, and NumaFifo's round-robin
+/// fallback then hands the tasks across domains.
+TEST(SyncSchedulerTest, ProducerOnlyDomainStillDrainsCrossDomain) {
+  Topology topo;
+  topo.numCpus = 4;
+  topo.numNumaDomains = 2;  // CPUs 0-1 -> domain 0; 2-3 -> domain 1
+  SyncScheduler sched(topo, std::make_unique<NumaFifoPolicy>(topo),
+                      SyncScheduler::Options{.spscCapacity = 256});
+  std::vector<Task> pool(100);
+  for (auto& t : pool) sched.addReadyTask(&t, 0);  // domain-0 producer only
+  // Only domain-1 CPUs ever ask; every domain-0 task must reach them,
+  // in order (single producer, FIFO within its domain queue).
+  for (auto& t : pool) ASSERT_EQ(sched.getReadyTask(2), &t);
+  EXPECT_EQ(sched.getReadyTask(3), nullptr);
 }
 
 TEST(SchedulerFactoryTest, BuildsTheConfiguredDesign) {
