@@ -39,12 +39,18 @@ TraceAnalysis runVariant(const char* label, SchedulerKind sched,
   auto app = makeApp("miniamr", envFlag("ATS_FULL") ? AppScale::Full
                                                     : AppScale::Quick);
   const auto sizes = app->defaultBlockSizes();
+  // Repeat the flood so the traced window is long enough for the
+  // starvation percentages to mean something (one quick-scale run is
+  // over in a millisecond on a small host).
+  const std::size_t reps = envSize("ATS_REPS", 5);
   {
     Runtime rt(cfg);
-    const AppResult r = app->run(rt, sizes.back());  // finest granularity
-    if (!r.verified) {
-      std::fprintf(stderr, "FATAL: miniamr failed verification\n");
-      std::exit(1);
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const AppResult r = app->run(rt, sizes.back());  // finest granularity
+      if (!r.verified) {
+        std::fprintf(stderr, "FATAL: miniamr failed verification\n");
+        std::exit(1);
+      }
     }
   }
 

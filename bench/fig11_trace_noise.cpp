@@ -42,7 +42,10 @@ int main() {
     // displace whichever thread holds the DTLock on a loaded host.
     KernelNoiseInjector noise(tracer, /*periodUs=*/10000, /*burstUs=*/2000,
                               /*targetCpu=*/0);
-    for (int rep = 0; rep < 5; ++rep) {
+    // Default rep count sized so the traced window spans many noise
+    // periods even at quick scale (ATS_REPS raises it further).
+    const std::size_t reps = envSize("ATS_REPS", 100);
+    for (std::size_t rep = 0; rep < reps; ++rep) {
       const AppResult r = app->run(rt, sizes.back());
       if (!r.verified) {
         std::fprintf(stderr, "FATAL: dotprod failed verification\n");

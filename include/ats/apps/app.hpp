@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ats {
+
+class Runtime;
+
+/// Problem-size preset for an app: Quick keeps every figure runnable in
+/// seconds on a laptop/CI host (the default), Full is the paper-sized
+/// sweep behind ATS_FULL (EXPERIMENTS.md "Quick vs full protocol").
+enum class AppScale { Quick, Full };
+
+/// Outcome of checking one parallel run against the serial reference.
+struct VerifyResult {
+  bool ok = false;
+  double checksum = 0.0;     ///< sum over the parallel output (diagnostics)
+  double maxRelError = 0.0;  ///< worst per-element relative error seen
+};
+
+/// One timed, verified parallel run of an app at one block size — the
+/// unit the figure harnesses aggregate (fig_common::runFigure).
+struct AppResult {
+  bool verified = false;
+  double checksum = 0.0;
+  double maxRelError = 0.0;
+  double seconds = 0.0;
+  double workUnits = 0.0;  ///< app-defined work total (flops/cell-updates)
+  std::size_t tasks = 0;   ///< tasks the run spawned
+
+  /// Work units per second — the y-axis input of the fig4-9 efficiency
+  /// metric (runFigure normalizes it against the app's grid peak).
+  double throughput() const {
+    return seconds > 0.0 ? workUnits / seconds : 0.0;
+  }
+
+  /// Work units per task — the paper's granularity x-axis.  Smaller
+  /// block sizes mean more, finer tasks at the same total work.
+  double grainWorkUnits() const {
+    return tasks > 0 ? workUnits / static_cast<double>(tasks) : 0.0;
+  }
+};
+
+/// One benchmark application of the paper's evaluation set (§6.1): a
+/// compact task-graph kernel with a serial reference implementation and
+/// an answer check.  The contract the figure harnesses rely on:
+///
+///   * `defaultBlockSizes()` is the granularity grid, coarse -> fine
+///     (fig10 takes `.back()` as the finest flood).
+///   * `run()` (re)initializes the parallel state, times
+///     `runParallel()` — which must spawn its whole graph and taskwait —
+///     and verifies the result against the serial reference, which is
+///     computed once per App instance and reused across runs.
+///   * `verify()` compares element-wise against the serial answer under
+///     `tolerance()`: relative error per element, |par - ser| /
+///     max(1, |ser|).  Most apps are bit-exact by construction (their
+///     inout chains fix the floating-point association independent of
+///     block size); dotprod/hpccg/cholesky regroup reductions by block,
+///     so they carry a wider documented tolerance (DESIGN.md "Apps").
+///     A benchmark that computes the wrong answer measures nothing, so
+///     runFigure aborts the whole figure on a failed verification.
+///   * `corruptOutput()` perturbs the parallel answer so the test suite
+///     can prove `verify()` actually rejects wrong results.
+class App {
+ public:
+  virtual ~App() = default;
+
+  App(const App&) = delete;
+  App& operator=(const App&) = delete;
+
+  const std::string& name() const { return name_; }
+  AppScale scale() const { return scale_; }
+  double tolerance() const { return tolerance_; }
+
+  /// Granularity grid, coarse -> fine.  Every entry divides the app's
+  /// problem dimension, so block math never needs remainder handling.
+  virtual std::vector<std::size_t> defaultBlockSizes() const = 0;
+
+  /// Total work of one run (block-size independent by construction).
+  virtual double totalWorkUnits() const = 0;
+
+  /// Compute the serial reference answer (no Runtime involved).
+  virtual void runSerial() = 0;
+
+  /// Reset the parallel state to the initial condition (untimed).
+  virtual void initParallel(std::size_t blockSize) = 0;
+
+  /// Spawn the task graph on `rt` and taskwait; returns tasks spawned.
+  /// Called on the spawner thread only (the Runtime threading contract).
+  virtual std::size_t runParallel(Runtime& rt, std::size_t blockSize) = 0;
+
+  /// Compare the parallel answer against the serial reference.
+  virtual VerifyResult verify() const = 0;
+
+  /// Damage the parallel answer (testing the checker, not the app).
+  virtual void corruptOutput() = 0;
+
+  /// The harness entry point: ensure the serial reference, reinitialize,
+  /// time the graph, verify.
+  AppResult run(Runtime& rt, std::size_t blockSize);
+
+  /// Compute the serial reference if this instance has not yet.
+  void ensureSerial();
+
+ protected:
+  App(std::string name, AppScale scale, double tolerance)
+      : name_(std::move(name)), scale_(scale), tolerance_(tolerance) {}
+
+  /// Element-wise relative comparison under `tolerance`; NaN anywhere
+  /// fails.  Shared by every app's verify().
+  static VerifyResult compare(const std::vector<double>& reference,
+                              const std::vector<double>& output,
+                              double tolerance);
+
+ private:
+  std::string name_;
+  AppScale scale_;
+  double tolerance_;
+  bool serialDone_ = false;
+};
+
+/// The paper's eight benchmark apps, the names fig4-11 use:
+/// "dotprod", "matmul", "heat", "nbody", "cholesky", "hpccg", "lulesh",
+/// "miniamr".  Throws std::invalid_argument on any other name.
+std::unique_ptr<App> makeApp(const std::string& name, AppScale scale);
+
+/// All valid makeApp names (stable order, the list above).
+const std::vector<std::string>& appNames();
+
+}  // namespace ats

@@ -6,6 +6,7 @@
 #include <initializer_list>
 #include <memory>
 #include <new>
+#include <span>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -69,6 +70,17 @@ class Runtime {
     Task* task = allocateTask();
     installClosure(task, std::forward<Fn>(fn));
     submit(task, accesses.begin(), accesses.size());
+  }
+
+  /// Span spawn for access lists whose arity is only known at run time —
+  /// the apps layer's halo tasks (a boundary block drops a neighbor
+  /// access) build a small Access array and pass it here.  Braced lists
+  /// still bind to the initializer_list overload above.
+  template <typename Fn>
+  void spawn(std::span<const Access> accesses, Fn&& fn) {
+    Task* task = allocateTask();
+    installClosure(task, std::forward<Fn>(fn));
+    submit(task, accesses.data(), accesses.size());
   }
 
   /// Raw function-pointer spawn for callers that manage their own state.

@@ -1,0 +1,73 @@
+#include "apps/app.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "app_factory.hpp"
+#include "common/timing.hpp"
+
+namespace ats {
+
+AppResult App::run(Runtime& rt, std::size_t blockSize) {
+  ensureSerial();
+  initParallel(blockSize);
+  Stopwatch sw;
+  const std::size_t tasks = runParallel(rt, blockSize);
+  const double seconds = sw.elapsedSeconds();
+
+  const VerifyResult v = verify();
+  AppResult result;
+  result.verified = v.ok;
+  result.checksum = v.checksum;
+  result.maxRelError = v.maxRelError;
+  result.seconds = seconds;
+  result.workUnits = totalWorkUnits();
+  result.tasks = tasks;
+  return result;
+}
+
+void App::ensureSerial() {
+  if (serialDone_) return;
+  runSerial();
+  serialDone_ = true;
+}
+
+VerifyResult App::compare(const std::vector<double>& reference,
+                          const std::vector<double>& output,
+                          double tolerance) {
+  VerifyResult v;
+  v.ok = reference.size() == output.size() && !reference.empty();
+  for (std::size_t i = 0; i < output.size(); ++i) {
+    v.checksum += output[i];
+    if (i >= reference.size()) break;
+    const double denom = std::max(1.0, std::fabs(reference[i]));
+    const double rel = std::fabs(output[i] - reference[i]) / denom;
+    if (rel > v.maxRelError) v.maxRelError = rel;
+    // Negated comparison so a NaN anywhere (output or reference) fails
+    // instead of slipping through an always-false `rel > tolerance`.
+    if (!(rel <= tolerance)) v.ok = false;
+  }
+  return v;
+}
+
+std::unique_ptr<App> makeApp(const std::string& name, AppScale scale) {
+  if (name == "dotprod") return apps::makeDotprod(scale);
+  if (name == "matmul") return apps::makeMatmul(scale);
+  if (name == "heat") return apps::makeHeat(scale);
+  if (name == "nbody") return apps::makeNbody(scale);
+  if (name == "cholesky") return apps::makeCholesky(scale);
+  if (name == "hpccg") return apps::makeHpccg(scale);
+  if (name == "lulesh") return apps::makeLulesh(scale);
+  if (name == "miniamr") return apps::makeMiniamr(scale);
+  throw std::invalid_argument("ats::makeApp: unknown app \"" + name +
+                              "\" (see ats::appNames())");
+}
+
+const std::vector<std::string>& appNames() {
+  static const std::vector<std::string> names = {
+      "dotprod", "matmul", "heat",  "nbody",
+      "cholesky", "hpccg", "lulesh", "miniamr"};
+  return names;
+}
+
+}  // namespace ats

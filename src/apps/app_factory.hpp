@@ -1,0 +1,22 @@
+#pragma once
+
+// Internal factory surface of the apps layer: one constructor per app
+// kernel, dispatched by makeApp (app.cpp).  Not installed; the public
+// entry point is apps/app.hpp.
+
+#include <memory>
+
+#include "apps/app.hpp"
+
+namespace ats::apps {
+
+std::unique_ptr<App> makeDotprod(AppScale scale);
+std::unique_ptr<App> makeMatmul(AppScale scale);
+std::unique_ptr<App> makeHeat(AppScale scale);
+std::unique_ptr<App> makeNbody(AppScale scale);
+std::unique_ptr<App> makeCholesky(AppScale scale);
+std::unique_ptr<App> makeHpccg(AppScale scale);
+std::unique_ptr<App> makeLulesh(AppScale scale);
+std::unique_ptr<App> makeMiniamr(AppScale scale);
+
+}  // namespace ats::apps

@@ -1,0 +1,159 @@
+// Cholesky: blocked right-looking factorization of an SPD matrix — the
+// paper set's triangular-solve-chain workload.  Four tile kernels
+// (potrf / trsm / syrk / gemm) with the textbook OmpSs dependency
+// clauses; the DAG narrows toward the critical path along the diagonal,
+// which is exactly the shape that punishes slow dependency release.
+// Blocked and unblocked factorizations regroup the trailing-sum
+// association, so this app carries the widest tolerance of the set.
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "app_factory.hpp"
+#include "runtime/runtime.hpp"
+
+namespace ats::apps {
+namespace {
+
+class CholeskyApp final : public App {
+ public:
+  explicit CholeskyApp(AppScale scale)
+      : App("cholesky", scale, /*tolerance=*/1e-8),
+        n_(scale == AppScale::Full ? 512 : 128) {
+    a0_.resize(n_ * n_);
+    for (std::size_t i = 0; i < n_; ++i)
+      for (std::size_t j = 0; j < n_; ++j) {
+        const double d = static_cast<double>(i > j ? i - j : j - i);
+        a0_[i * n_ + j] = 1.0 / (1.0 + d) + (i == j ? static_cast<double>(n_) : 0.0);
+      }
+  }
+
+  std::vector<std::size_t> defaultBlockSizes() const override {
+    if (scale() == AppScale::Full) return {256, 128, 64, 32, 16};
+    return {64, 32, 16, 8};
+  }
+
+  double totalWorkUnits() const override {
+    const double n = static_cast<double>(n_);
+    return n * n * n / 3.0;  // flops of the factorization
+  }
+
+  void runSerial() override {
+    ref_ = a0_;
+    // Unblocked right-looking Cholesky, lower triangle in place.
+    for (std::size_t k = 0; k < n_; ++k) {
+      const double pivot = std::sqrt(ref_[k * n_ + k]);
+      ref_[k * n_ + k] = pivot;
+      for (std::size_t i = k + 1; i < n_; ++i) ref_[i * n_ + k] /= pivot;
+      for (std::size_t j = k + 1; j < n_; ++j)
+        for (std::size_t i = j; i < n_; ++i)
+          ref_[i * n_ + j] -= ref_[i * n_ + k] * ref_[j * n_ + k];
+    }
+    zeroUpper(ref_);
+  }
+
+  void initParallel(std::size_t) override { l_ = a0_; }
+
+  std::size_t runParallel(Runtime& rt, std::size_t bs) override {
+    const std::size_t nt = n_ / bs;
+    std::size_t tasks = 0;
+    for (std::size_t k = 0; k < nt; ++k) {
+      rt.spawn({inout(tok(k, k, bs))}, [this, k, bs] { potrf(k, bs); });
+      ++tasks;
+      for (std::size_t i = k + 1; i < nt; ++i) {
+        rt.spawn({in(tok(k, k, bs)), inout(tok(i, k, bs))},
+                 [this, k, i, bs] { trsm(k, i, bs); });
+        ++tasks;
+      }
+      for (std::size_t i = k + 1; i < nt; ++i) {
+        rt.spawn({in(tok(i, k, bs)), inout(tok(i, i, bs))},
+                 [this, k, i, bs] { syrk(k, i, bs); });
+        ++tasks;
+        for (std::size_t j = k + 1; j < i; ++j) {
+          rt.spawn({in(tok(i, k, bs)), in(tok(j, k, bs)),
+                    inout(tok(i, j, bs))},
+                   [this, k, i, j, bs] { gemm(k, i, j, bs); });
+          ++tasks;
+        }
+      }
+    }
+    rt.taskwait();
+    zeroUpper(l_);
+    return tasks;
+  }
+
+  VerifyResult verify() const override { return compare(ref_, l_, tolerance()); }
+
+  void corruptOutput() override { l_[(n_ - 1) * n_] += 1.0; }
+
+ private:
+  double& tok(std::size_t ti, std::size_t tj, std::size_t bs) {
+    return l_[(ti * bs) * n_ + tj * bs];
+  }
+
+  /// Unblocked Cholesky of diagonal tile (k,k).
+  void potrf(std::size_t k, std::size_t bs) {
+    const std::size_t o = k * bs;
+    for (std::size_t c = 0; c < bs; ++c) {
+      const double pivot = std::sqrt(l_[(o + c) * n_ + o + c]);
+      l_[(o + c) * n_ + o + c] = pivot;
+      for (std::size_t r = c + 1; r < bs; ++r) l_[(o + r) * n_ + o + c] /= pivot;
+      for (std::size_t j = c + 1; j < bs; ++j)
+        for (std::size_t r = j; r < bs; ++r)
+          l_[(o + r) * n_ + o + j] -=
+              l_[(o + r) * n_ + o + c] * l_[(o + j) * n_ + o + c];
+    }
+  }
+
+  /// Tile (i,k) := tile (i,k) * L(k,k)^-T  (forward solve per row).
+  void trsm(std::size_t k, std::size_t i, std::size_t bs) {
+    const std::size_t ok = k * bs, oi = i * bs;
+    for (std::size_t r = 0; r < bs; ++r)
+      for (std::size_t c = 0; c < bs; ++c) {
+        double x = l_[(oi + r) * n_ + ok + c];
+        for (std::size_t m = 0; m < c; ++m)
+          x -= l_[(oi + r) * n_ + ok + m] * l_[(ok + c) * n_ + ok + m];
+        l_[(oi + r) * n_ + ok + c] = x / l_[(ok + c) * n_ + ok + c];
+      }
+  }
+
+  /// Diagonal tile (i,i) -= L(i,k) * L(i,k)^T  (lower part only).
+  void syrk(std::size_t k, std::size_t i, std::size_t bs) {
+    const std::size_t ok = k * bs, oi = i * bs;
+    for (std::size_t r = 0; r < bs; ++r)
+      for (std::size_t c = 0; c <= r; ++c) {
+        double x = l_[(oi + r) * n_ + oi + c];
+        for (std::size_t m = 0; m < bs; ++m)
+          x -= l_[(oi + r) * n_ + ok + m] * l_[(oi + c) * n_ + ok + m];
+        l_[(oi + r) * n_ + oi + c] = x;
+      }
+  }
+
+  /// Tile (i,j) -= L(i,k) * L(j,k)^T.
+  void gemm(std::size_t k, std::size_t i, std::size_t j, std::size_t bs) {
+    const std::size_t ok = k * bs, oi = i * bs, oj = j * bs;
+    for (std::size_t r = 0; r < bs; ++r)
+      for (std::size_t c = 0; c < bs; ++c) {
+        double x = l_[(oi + r) * n_ + oj + c];
+        for (std::size_t m = 0; m < bs; ++m)
+          x -= l_[(oi + r) * n_ + ok + m] * l_[(oj + c) * n_ + ok + m];
+        l_[(oi + r) * n_ + oj + c] = x;
+      }
+  }
+
+  void zeroUpper(std::vector<double>& m) const {
+    for (std::size_t i = 0; i < n_; ++i)
+      for (std::size_t j = i + 1; j < n_; ++j) m[i * n_ + j] = 0.0;
+  }
+
+  std::size_t n_;
+  std::vector<double> a0_, l_, ref_;
+};
+
+}  // namespace
+
+std::unique_ptr<App> makeCholesky(AppScale scale) {
+  return std::make_unique<CholeskyApp>(scale);
+}
+
+}  // namespace ats::apps

@@ -1,0 +1,92 @@
+// Dot Product: the paper set's embarrassingly-parallel kernel with a
+// final reduction.  One task per block computes a partial sum (no
+// conflicting accesses at all), then an inout chain on the accumulator
+// folds the partials in block order — so the dependency system sees the
+// two extreme shapes at once: total independence and a strict chain.
+//
+// The block grouping changes the floating-point association relative to
+// the serial left-to-right sum, hence the reduction-class tolerance.
+#include <cstddef>
+#include <vector>
+
+#include "app_factory.hpp"
+#include "runtime/runtime.hpp"
+
+namespace ats::apps {
+namespace {
+
+class DotprodApp final : public App {
+ public:
+  explicit DotprodApp(AppScale scale)
+      : App("dotprod", scale, /*tolerance=*/1e-9),
+        n_(scale == AppScale::Full ? (std::size_t{1} << 24)
+                                   : (std::size_t{1} << 18)) {
+    a_.resize(n_);
+    b_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      a_[i] = 0.25 + static_cast<double>(i % 9) * 0.125;
+      b_[i] = 1.0 - static_cast<double>(i % 7) * 0.0625;
+    }
+  }
+
+  std::vector<std::size_t> defaultBlockSizes() const override {
+    if (scale() == AppScale::Full)
+      return {1u << 20, 1u << 18, 1u << 16, 1u << 14, 1u << 12};
+    return {65536, 32768, 16384, 8192, 4096, 2048, 1024};
+  }
+
+  double totalWorkUnits() const override {
+    return 2.0 * static_cast<double>(n_);  // one mul + one add per element
+  }
+
+  void runSerial() override {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) sum += a_[i] * b_[i];
+    serialSum_ = sum;
+  }
+
+  void initParallel(std::size_t blockSize) override {
+    partials_.assign(n_ / blockSize, 0.0);
+    parallelSum_ = 0.0;
+  }
+
+  std::size_t runParallel(Runtime& rt, std::size_t blockSize) override {
+    const std::size_t nb = n_ / blockSize;
+    for (std::size_t t = 0; t < nb; ++t) {
+      rt.spawn({out(partials_[t])}, [this, t, blockSize] {
+        const std::size_t begin = t * blockSize;
+        double sum = 0.0;
+        for (std::size_t i = begin; i < begin + blockSize; ++i)
+          sum += a_[i] * b_[i];
+        partials_[t] = sum;
+      });
+    }
+    for (std::size_t t = 0; t < nb; ++t) {
+      rt.spawn({in(partials_[t]), inout(parallelSum_)},
+               [this, t] { parallelSum_ += partials_[t]; });
+    }
+    rt.taskwait();
+    return 2 * nb;
+  }
+
+  VerifyResult verify() const override {
+    return compare({serialSum_}, {parallelSum_}, tolerance());
+  }
+
+  void corruptOutput() override { parallelSum_ += 1.0; }
+
+ private:
+  std::size_t n_;
+  std::vector<double> a_, b_;
+  double serialSum_ = 0.0;
+  std::vector<double> partials_;
+  double parallelSum_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<App> makeDotprod(AppScale scale) {
+  return std::make_unique<DotprodApp>(scale);
+}
+
+}  // namespace ats::apps

@@ -1,0 +1,125 @@
+// Heat: 2D Jacobi stencil, double-buffered, decomposed into row blocks.
+// Each timestep spawns one task per block reading its own and both
+// neighbor blocks of the source buffer and writing its block of the
+// destination buffer — the classic halo shape whose cross-step wavefront
+// the dependency system must pipeline (a block's step t+1 can start as
+// soon as its three step-t neighbors finish, no global barrier).
+// Per-cell arithmetic is identical at every block size, so the answer is
+// bit-exact against the serial sweep.
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "app_factory.hpp"
+#include "runtime/runtime.hpp"
+
+namespace ats::apps {
+namespace {
+
+class HeatApp final : public App {
+ public:
+  explicit HeatApp(AppScale scale)
+      : App("heat", scale, /*tolerance=*/1e-12),
+        rows_(scale == AppScale::Full ? 1024 : 256),
+        cols_(scale == AppScale::Full ? 512 : 128),
+        steps_(scale == AppScale::Full ? 50 : 8) {}
+
+  std::vector<std::size_t> defaultBlockSizes() const override {
+    if (scale() == AppScale::Full) return {256, 128, 64, 32, 16, 8};
+    return {64, 32, 16, 8, 4};
+  }
+
+  double totalWorkUnits() const override {
+    // 4 flops per interior cell update per step.
+    return 4.0 * static_cast<double>(steps_) *
+           static_cast<double>(rows_ - 2) * static_cast<double>(cols_ - 2);
+  }
+
+  void runSerial() override {
+    std::vector<double> src = initialGrid(), dst = initialGrid();
+    for (std::size_t t = 0; t < steps_; ++t) {
+      sweepRows(src, dst, 1, rows_ - 1);
+      std::swap(src, dst);
+    }
+    ref_ = std::move(src);
+  }
+
+  void initParallel(std::size_t) override {
+    bufA_ = initialGrid();
+    bufB_ = initialGrid();
+  }
+
+  std::size_t runParallel(Runtime& rt, std::size_t bs) override {
+    const std::size_t nb = rows_ / bs;
+    std::vector<double>* src = &bufA_;
+    std::vector<double>* dst = &bufB_;
+    for (std::size_t t = 0; t < steps_; ++t) {
+      for (std::size_t b = 0; b < nb; ++b) {
+        std::array<Access, 4> acc;
+        std::size_t na = 0;
+        if (b > 0) acc[na++] = in(blockTok(*src, b - 1, bs));
+        acc[na++] = in(blockTok(*src, b, bs));
+        if (b + 1 < nb) acc[na++] = in(blockTok(*src, b + 1, bs));
+        acc[na++] = out(blockTok(*dst, b, bs));
+        // Interior rows of this block (the global edge rows are fixed
+        // boundary and both buffers carry them from initialization).
+        const std::size_t r0 = std::max<std::size_t>(b * bs, 1);
+        const std::size_t r1 = std::min((b + 1) * bs, rows_ - 1);
+        rt.spawn(std::span<const Access>(acc.data(), na),
+                 [this, src, dst, r0, r1] { sweepRows(*src, *dst, r0, r1); });
+      }
+      std::swap(src, dst);
+    }
+    rt.taskwait();
+    return steps_ * nb;
+  }
+
+  VerifyResult verify() const override {
+    return compare(ref_, steps_ % 2 == 0 ? bufA_ : bufB_, tolerance());
+  }
+
+  void corruptOutput() override {
+    (steps_ % 2 == 0 ? bufA_ : bufB_)[rows_ / 2 * cols_ + cols_ / 2] += 1.0;
+  }
+
+ private:
+  std::vector<double> initialGrid() const {
+    std::vector<double> g(rows_ * cols_, 0.0);
+    for (std::size_t j = 0; j < cols_; ++j) {
+      g[j] = 1.0;                        // hot top edge
+      g[(rows_ - 1) * cols_ + j] = 0.5;  // warm bottom edge
+    }
+    for (std::size_t i = 0; i < rows_; ++i) {
+      g[i * cols_] = 0.75;
+      g[i * cols_ + cols_ - 1] = 0.25;
+    }
+    return g;
+  }
+
+  double& blockTok(std::vector<double>& buf, std::size_t b, std::size_t bs) {
+    return buf[b * bs * cols_];
+  }
+
+  void sweepRows(const std::vector<double>& src, std::vector<double>& dst,
+                 std::size_t r0, std::size_t r1) const {
+    for (std::size_t i = r0; i < r1; ++i)
+      for (std::size_t j = 1; j < cols_ - 1; ++j)
+        dst[i * cols_ + j] =
+            0.25 * (src[(i - 1) * cols_ + j] + src[(i + 1) * cols_ + j] +
+                    src[i * cols_ + j - 1] + src[i * cols_ + j + 1]);
+  }
+
+  std::size_t rows_, cols_, steps_;
+  std::vector<double> bufA_, bufB_, ref_;
+};
+
+}  // namespace
+
+std::unique_ptr<App> makeHeat(AppScale scale) {
+  return std::make_unique<HeatApp>(scale);
+}
+
+}  // namespace ats::apps

@@ -1,0 +1,158 @@
+// LULESH proxy: a compact Lagrangian-hydrodynamics surrogate with the
+// multi-kernel-per-timestep structure of the real miniapp, on a 1D
+// staggered grid (element pressure/energy, node velocity).  Each step is
+// two alternating halo phases — node kernels read flanking element
+// blocks, element kernels read flanking node blocks — so the dependency
+// pattern ping-pongs between two offset block grids instead of the
+// single aligned grid of heat, with an artificial-viscosity branch for
+// shock capture (a Sod-like initial energy jump drives one through the
+// domain).  Per-cell arithmetic is block-size independent: bit-exact.
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "app_factory.hpp"
+#include "runtime/runtime.hpp"
+
+namespace ats::apps {
+namespace {
+
+constexpr double kDt = 0.05;
+constexpr double kGammaMinusOne = 0.4;  // ideal gas, gamma = 1.4
+constexpr double kViscosity = 1.5;      // artificial-viscosity coefficient
+
+class LuleshApp final : public App {
+ public:
+  explicit LuleshApp(AppScale scale)
+      : App("lulesh", scale, /*tolerance=*/1e-12),
+        elems_(scale == AppScale::Full ? 65536 : 8192),
+        steps_(scale == AppScale::Full ? 20 : 10) {}
+
+  std::vector<std::size_t> defaultBlockSizes() const override {
+    if (scale() == AppScale::Full) return {8192, 4096, 2048, 1024, 512, 256};
+    return {2048, 1024, 512, 256, 128};
+  }
+
+  double totalWorkUnits() const override {
+    // ~8 flops per element kernel + ~4 per node kernel, per step.
+    return 12.0 * static_cast<double>(steps_) * static_cast<double>(elems_);
+  }
+
+  void runSerial() override {
+    std::vector<double> e = initialEnergy(), p = pressureOf(e),
+                        u(elems_ + 1, 0.0);
+    for (std::size_t t = 0; t < steps_; ++t) {
+      nodeKernel(p, u, 1, elems_);
+      elemKernel(u, e, p, 0, elems_);
+    }
+    refE_ = std::move(e);
+    refU_ = std::move(u);
+  }
+
+  void initParallel(std::size_t) override {
+    e_ = initialEnergy();
+    p_ = pressureOf(e_);
+    u_.assign(elems_ + 1, 0.0);
+  }
+
+  std::size_t runParallel(Runtime& rt, std::size_t bs) override {
+    const std::size_t nb = elems_ / bs;
+    std::size_t tasks = 0;
+    for (std::size_t t = 0; t < steps_; ++t) {
+      // Phase 1 — node velocities from the element pressure gradient.
+      // Node block k owns nodes [k*bs, (k+1)*bs) (the last block also
+      // owns the far-wall node); interior nodes need elements n-1 and n,
+      // i.e. element blocks k-1 and k.
+      for (std::size_t k = 0; k < nb; ++k) {
+        std::array<Access, 3> acc;
+        std::size_t na = 0;
+        if (k > 0) acc[na++] = in(p_[(k - 1) * bs]);
+        acc[na++] = in(p_[k * bs]);
+        acc[na++] = inout(u_[k * bs]);
+        const std::size_t n0 = std::max<std::size_t>(k * bs, 1);
+        const std::size_t n1 = (k + 1) * bs;  // node `elems_` is a wall
+        rt.spawn(std::span<const Access>(acc.data(), na),
+                 [this, n0, n1] { nodeKernel(p_, u_, n0, n1); });
+        ++tasks;
+      }
+      // Phase 2 — element energy + EOS from the node velocity field.
+      // Element block k needs nodes [k*bs, (k+1)*bs], i.e. node blocks
+      // k and k+1 (the closing node of the last block lives in node
+      // block nb-1 itself).
+      for (std::size_t k = 0; k < nb; ++k) {
+        std::array<Access, 3> acc;
+        std::size_t na = 0;
+        acc[na++] = in(u_[k * bs]);
+        if (k + 1 < nb) acc[na++] = in(u_[(k + 1) * bs]);
+        acc[na++] = inout(p_[k * bs]);
+        rt.spawn(std::span<const Access>(acc.data(), na), [this, k, bs] {
+          elemKernel(u_, e_, p_, k * bs, (k + 1) * bs);
+        });
+        ++tasks;
+      }
+    }
+    rt.taskwait();
+    return tasks;
+  }
+
+  VerifyResult verify() const override {
+    const VerifyResult ve = compare(refE_, e_, tolerance());
+    const VerifyResult vu = compare(refU_, u_, tolerance());
+    VerifyResult v;
+    v.ok = ve.ok && vu.ok;
+    v.checksum = ve.checksum + vu.checksum;
+    v.maxRelError = std::max(ve.maxRelError, vu.maxRelError);
+    return v;
+  }
+
+  void corruptOutput() override { e_[elems_ / 2] += 1.0; }
+
+ private:
+  std::vector<double> initialEnergy() const {
+    // Sod-like jump: hot dense-energy left half, cold right half.
+    std::vector<double> e(elems_);
+    for (std::size_t i = 0; i < elems_; ++i)
+      e[i] = i < elems_ / 2 ? 1.0 : 0.025;
+    return e;
+  }
+
+  std::vector<double> pressureOf(const std::vector<double>& e) const {
+    std::vector<double> p(elems_);
+    for (std::size_t i = 0; i < elems_; ++i) p[i] = kGammaMinusOne * e[i];
+    return p;
+  }
+
+  /// u[n0..n1) += dt * (p[left] - p[right]); walls (nodes 0 and elems_)
+  /// never move, callers exclude them.
+  void nodeKernel(const std::vector<double>& p, std::vector<double>& u,
+                  std::size_t n0, std::size_t n1) const {
+    for (std::size_t n = n0; n < n1; ++n) u[n] += kDt * (p[n - 1] - p[n]);
+  }
+
+  /// Element energy update (pdV work + artificial viscosity on
+  /// compression) followed by the ideal-gas EOS refresh.
+  void elemKernel(const std::vector<double>& u, std::vector<double>& e,
+                  std::vector<double>& p, std::size_t e0,
+                  std::size_t e1) const {
+    for (std::size_t i = e0; i < e1; ++i) {
+      const double du = u[i + 1] - u[i];
+      const double q = du < 0.0 ? kViscosity * du * du : 0.0;
+      e[i] -= kDt * (p[i] + q) * du;
+      if (e[i] < 0.0) e[i] = 0.0;
+      p[i] = kGammaMinusOne * e[i];
+    }
+  }
+
+  std::size_t elems_, steps_;
+  std::vector<double> e_, p_, u_, refE_, refU_;
+};
+
+}  // namespace
+
+std::unique_ptr<App> makeLulesh(AppScale scale) {
+  return std::make_unique<LuleshApp>(scale);
+}
+
+}  // namespace ats::apps

@@ -1,0 +1,104 @@
+// Matmul: blocked dense C = A * B.  One task per (i, j, k) tile triple
+// with {in A(i,k), in B(k,j), inout C(i,j)} — the inout chain on each C
+// tile serializes its k updates in spawn order, so every C entry
+// accumulates over k ascending exactly like the serial ikj loops and the
+// answer is bit-exact at every block size (the tolerance is slack, not
+// need).  A and B are only ever read, so the reader groups fan out wide.
+#include <cstddef>
+#include <vector>
+
+#include "app_factory.hpp"
+#include "runtime/runtime.hpp"
+
+namespace ats::apps {
+namespace {
+
+class MatmulApp final : public App {
+ public:
+  explicit MatmulApp(AppScale scale)
+      : App("matmul", scale, /*tolerance=*/1e-9),
+        n_(scale == AppScale::Full ? 384 : 96) {
+    a_.resize(n_ * n_);
+    b_.resize(n_ * n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t j = 0; j < n_; ++j) {
+        a_[i * n_ + j] = static_cast<double>((i + 2 * j) % 13) * 0.125 - 0.5;
+        b_[i * n_ + j] = static_cast<double>((3 * i + j) % 11) * 0.0625 - 0.25;
+      }
+    }
+  }
+
+  std::vector<std::size_t> defaultBlockSizes() const override {
+    if (scale() == AppScale::Full) return {192, 128, 96, 64, 48, 32, 24, 16};
+    return {48, 32, 24, 16, 12, 8};
+  }
+
+  double totalWorkUnits() const override {
+    const double n = static_cast<double>(n_);
+    return 2.0 * n * n * n;
+  }
+
+  void runSerial() override {
+    cref_.assign(n_ * n_, 0.0);
+    for (std::size_t i = 0; i < n_; ++i)
+      for (std::size_t k = 0; k < n_; ++k) {
+        const double aik = a_[i * n_ + k];
+        for (std::size_t j = 0; j < n_; ++j)
+          cref_[i * n_ + j] += aik * b_[k * n_ + j];
+      }
+  }
+
+  void initParallel(std::size_t) override { c_.assign(n_ * n_, 0.0); }
+
+  std::size_t runParallel(Runtime& rt, std::size_t bs) override {
+    const std::size_t nt = n_ / bs;
+    std::size_t tasks = 0;
+    for (std::size_t i = 0; i < nt; ++i) {
+      for (std::size_t j = 0; j < nt; ++j) {
+        for (std::size_t k = 0; k < nt; ++k) {
+          rt.spawn({in(tileTok(a_, i, k, bs)), in(tileTok(b_, k, j, bs)),
+                    inout(tileTok(c_, i, j, bs))},
+                   [this, i, j, k, bs] { gemmTile(i, j, k, bs); });
+          ++tasks;
+        }
+      }
+    }
+    rt.taskwait();
+    return tasks;
+  }
+
+  VerifyResult verify() const override {
+    return compare(cref_, c_, tolerance());
+  }
+
+  void corruptOutput() override { c_[n_ / 2] += 1.0; }
+
+ private:
+  /// Dependency token of tile (ti, tj): its top-left element.
+  double& tileTok(std::vector<double>& m, std::size_t ti, std::size_t tj,
+                  std::size_t bs) {
+    return m[(ti * bs) * n_ + tj * bs];
+  }
+
+  void gemmTile(std::size_t ti, std::size_t tj, std::size_t tk,
+                std::size_t bs) {
+    const std::size_t i0 = ti * bs, j0 = tj * bs, k0 = tk * bs;
+    for (std::size_t i = i0; i < i0 + bs; ++i)
+      for (std::size_t k = k0; k < k0 + bs; ++k) {
+        const double aik = a_[i * n_ + k];
+        for (std::size_t j = j0; j < j0 + bs; ++j)
+          c_[i * n_ + j] += aik * b_[k * n_ + j];
+      }
+  }
+
+  std::size_t n_;
+  std::vector<double> a_, b_, c_, cref_;
+};
+
+}  // namespace
+
+std::unique_ptr<App> makeMatmul(AppScale scale) {
+  return std::make_unique<MatmulApp>(scale);
+}
+
+}  // namespace ats::apps

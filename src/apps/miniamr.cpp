@@ -1,0 +1,137 @@
+// miniAMR proxy: adaptive-refinement workload shape.  A 1D field is
+// smoothed in double-buffered cycles like heat, but cells near a moving
+// front carry a refinement level (0-2) decided per fixed 256-cell region
+// from the cell index and cycle alone — NOT from the task blocking — so
+// the answer is block-size independent while the work per task varies by
+// up to 16x and shifts between tasks every cycle.  That irregular grain
+// plus the halo dependencies is what floods the scheduler with uneven
+// fine tasks (fig10 runs this app at the finest block size).
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "app_factory.hpp"
+#include "runtime/runtime.hpp"
+
+namespace ats::apps {
+namespace {
+
+/// Cells per refinement region — the unit refinement decisions apply to,
+/// fixed so levels never depend on the sweep's block size.
+constexpr std::size_t kRegionCells = 256;
+
+class MiniamrApp final : public App {
+ public:
+  explicit MiniamrApp(AppScale scale)
+      : App("miniamr", scale, /*tolerance=*/1e-12),
+        n_(scale == AppScale::Full ? 65536 : 8192),
+        cycles_(scale == AppScale::Full ? 12 : 6) {
+    // Work is data-dependent (the refinement map), so price it once.
+    workUnits_ = 0.0;
+    for (std::size_t c = 0; c < cycles_; ++c)
+      for (std::size_t i = 0; i < n_; ++i)
+        workUnits_ += 3.0 + static_cast<double>(refineIters(i, c));
+  }
+
+  std::vector<std::size_t> defaultBlockSizes() const override {
+    if (scale() == AppScale::Full) return {8192, 4096, 2048, 1024, 512, 256};
+    return {2048, 1024, 512, 256, 128, 64};
+  }
+
+  double totalWorkUnits() const override { return workUnits_; }
+
+  void runSerial() override {
+    std::vector<double> src = initialField(), dst(n_, 0.0);
+    for (std::size_t c = 0; c < cycles_; ++c) {
+      updateCells(src, dst, 0, n_, c);
+      std::swap(src, dst);
+    }
+    ref_ = std::move(src);
+  }
+
+  void initParallel(std::size_t) override {
+    bufA_ = initialField();
+    bufB_.assign(n_, 0.0);
+  }
+
+  std::size_t runParallel(Runtime& rt, std::size_t bs) override {
+    const std::size_t nb = n_ / bs;
+    std::vector<double>* src = &bufA_;
+    std::vector<double>* dst = &bufB_;
+    for (std::size_t c = 0; c < cycles_; ++c) {
+      for (std::size_t b = 0; b < nb; ++b) {
+        std::array<Access, 4> acc;
+        std::size_t na = 0;
+        if (b > 0) acc[na++] = in((*src)[(b - 1) * bs]);
+        acc[na++] = in((*src)[b * bs]);
+        if (b + 1 < nb) acc[na++] = in((*src)[(b + 1) * bs]);
+        acc[na++] = out((*dst)[b * bs]);
+        rt.spawn(std::span<const Access>(acc.data(), na),
+                 [this, src, dst, b, bs, c] {
+                   updateCells(*src, *dst, b * bs, (b + 1) * bs, c);
+                 });
+      }
+      std::swap(src, dst);
+    }
+    rt.taskwait();
+    return cycles_ * nb;
+  }
+
+  VerifyResult verify() const override {
+    return compare(ref_, cycles_ % 2 == 0 ? bufA_ : bufB_, tolerance());
+  }
+
+  void corruptOutput() override {
+    (cycles_ % 2 == 0 ? bufA_ : bufB_)[n_ / 3] += 1.0;
+  }
+
+ private:
+  std::vector<double> initialField() const {
+    std::vector<double> f(n_);
+    for (std::size_t i = 0; i < n_; ++i)
+      f[i] = static_cast<double>(i % 97) * 0.01;
+    return f;
+  }
+
+  /// Refinement level of `cell` at `cycle`: a front sweeps left to right
+  /// across the domain; the region under it refines to level 2, the ones
+  /// flanking it to level 1.
+  std::size_t refineIters(std::size_t cell, std::size_t cycle) const {
+    const std::size_t region = cell / kRegionCells;
+    const std::size_t frontCell = ((cycle + 1) * n_) / (cycles_ + 1);
+    const std::size_t frontRegion = frontCell / kRegionCells;
+    const std::size_t dist = region > frontRegion ? region - frontRegion
+                                                  : frontRegion - region;
+    const std::size_t level = dist == 0 ? 2 : (dist <= 2 ? 1 : 0);
+    return std::size_t{1} << (2 * level);  // 1, 4 or 16 extra iterations
+  }
+
+  void updateCells(const std::vector<double>& src, std::vector<double>& dst,
+                   std::size_t begin, std::size_t end, std::size_t cycle) const {
+    for (std::size_t i = begin; i < end; ++i) {
+      const double left = i > 0 ? src[i - 1] : src[i];
+      const double right = i + 1 < n_ ? src[i + 1] : src[i];
+      double v = 0.25 * left + 0.5 * src[i] + 0.25 * right;
+      // Refined cells iterate a cheap contraction toward 1 — extra work
+      // AND a (deterministic) extra effect where the front sits.
+      const std::size_t iters = refineIters(i, cycle);
+      for (std::size_t k = 0; k < iters; ++k) v += (1.0 - v) * 1e-3;
+      dst[i] = v;
+    }
+  }
+
+  std::size_t n_, cycles_;
+  double workUnits_ = 0.0;
+  std::vector<double> bufA_, bufB_, ref_;
+};
+
+}  // namespace
+
+std::unique_ptr<App> makeMiniamr(AppScale scale) {
+  return std::make_unique<MiniamrApp>(scale);
+}
+
+}  // namespace ats::apps

@@ -1,0 +1,162 @@
+// NBody: blocked all-pairs gravity with softening.  Each timestep is
+// three phases over particle blocks — zero the accelerations, accumulate
+// block-against-block forces, integrate — and the dependency shape is a
+// dense bipartite fan: every force task reads one source block's
+// positions and inout-chains on one target block's accelerations, so nb
+// independent chains of nb tasks each run concurrently.  The chains fix
+// the source-block accumulation order to j ascending, matching the
+// serial loops exactly (bit-exact at every block size).
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "app_factory.hpp"
+#include "runtime/runtime.hpp"
+
+namespace ats::apps {
+namespace {
+
+constexpr double kDt = 0.01;
+constexpr double kSoftening = 0.1;  // eps^2 added to every distance
+
+class NbodyApp final : public App {
+ public:
+  explicit NbodyApp(AppScale scale)
+      : App("nbody", scale, /*tolerance=*/1e-12),
+        n_(scale == AppScale::Full ? 4096 : 1024),
+        steps_(scale == AppScale::Full ? 4 : 2) {}
+
+  std::vector<std::size_t> defaultBlockSizes() const override {
+    if (scale() == AppScale::Full) return {1024, 512, 256, 128, 64};
+    return {256, 128, 64, 32};
+  }
+
+  double totalWorkUnits() const override {
+    // ~20 flops per pairwise interaction.
+    return 20.0 * static_cast<double>(steps_) * static_cast<double>(n_) *
+           static_cast<double>(n_);
+  }
+
+  void runSerial() override {
+    std::vector<double> pos = initialPositions(), vel(3 * n_, 0.0),
+                        acc(3 * n_, 0.0);
+    for (std::size_t t = 0; t < steps_; ++t) {
+      std::fill(acc.begin(), acc.end(), 0.0);
+      accumulate(pos, acc, 0, n_, 0, n_);
+      integrate(pos, vel, acc, 0, n_);
+    }
+    refPos_ = std::move(pos);
+  }
+
+  void initParallel(std::size_t) override {
+    pos_ = initialPositions();
+    vel_.assign(3 * n_, 0.0);
+    acc_.assign(3 * n_, 0.0);
+  }
+
+  std::size_t runParallel(Runtime& rt, std::size_t bs) override {
+    const std::size_t nb = n_ / bs;
+    std::size_t tasks = 0;
+    for (std::size_t t = 0; t < steps_; ++t) {
+      for (std::size_t bi = 0; bi < nb; ++bi) {
+        rt.spawn({out(accTok(bi, bs))}, [this, bi, bs] {
+          std::fill(acc_.begin() + static_cast<std::ptrdiff_t>(3 * bi * bs),
+                    acc_.begin() + static_cast<std::ptrdiff_t>(3 * (bi + 1) * bs),
+                    0.0);
+        });
+        ++tasks;
+      }
+      for (std::size_t bi = 0; bi < nb; ++bi) {
+        for (std::size_t bj = 0; bj < nb; ++bj) {
+          auto body = [this, bi, bj, bs] {
+            accumulate(pos_, acc_, bi * bs, (bi + 1) * bs, bj * bs,
+                       (bj + 1) * bs);
+          };
+          if (bi == bj) {
+            rt.spawn({in(posTok(bi, bs)), inout(accTok(bi, bs))}, body);
+          } else {
+            rt.spawn({in(posTok(bj, bs)), in(posTok(bi, bs)),
+                      inout(accTok(bi, bs))},
+                     body);
+          }
+          ++tasks;
+        }
+      }
+      for (std::size_t bi = 0; bi < nb; ++bi) {
+        rt.spawn({in(accTok(bi, bs)), inout(posTok(bi, bs))}, [this, bi, bs] {
+          integrate(pos_, vel_, acc_, bi * bs, (bi + 1) * bs);
+        });
+        ++tasks;
+      }
+    }
+    rt.taskwait();
+    return tasks;
+  }
+
+  VerifyResult verify() const override {
+    return compare(refPos_, pos_, tolerance());
+  }
+
+  void corruptOutput() override { pos_[3 * (n_ / 2)] += 1.0; }
+
+ private:
+  std::vector<double> initialPositions() const {
+    // Deterministic jittered lattice, 16 particles per row.
+    std::vector<double> pos(3 * n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      pos[3 * i + 0] = static_cast<double>(i % 16) +
+                       0.0625 * static_cast<double>(i % 7);
+      pos[3 * i + 1] = static_cast<double>((i / 16) % 16) +
+                       0.0625 * static_cast<double>(i % 5);
+      pos[3 * i + 2] = static_cast<double>(i / 256) +
+                       0.0625 * static_cast<double>(i % 3);
+    }
+    return pos;
+  }
+
+  double& posTok(std::size_t b, std::size_t bs) { return pos_[3 * b * bs]; }
+  double& accTok(std::size_t b, std::size_t bs) { return acc_[3 * b * bs]; }
+
+  /// acc[targets i0..i1) += softened gravity from sources [j0..j1).
+  static void accumulate(const std::vector<double>& pos,
+                         std::vector<double>& acc, std::size_t i0,
+                         std::size_t i1, std::size_t j0, std::size_t j1) {
+    // Accumulates straight into acc[] per source so the blocked runs
+    // reproduce the serial j-ascending association exactly (a per-block
+    // register accumulator would regroup the sum and cost bit-exactness).
+    for (std::size_t i = i0; i < i1; ++i) {
+      for (std::size_t j = j0; j < j1; ++j) {
+        if (i == j) continue;
+        const double dx = pos[3 * j + 0] - pos[3 * i + 0];
+        const double dy = pos[3 * j + 1] - pos[3 * i + 1];
+        const double dz = pos[3 * j + 2] - pos[3 * i + 2];
+        const double r2 = dx * dx + dy * dy + dz * dz + kSoftening;
+        const double inv = 1.0 / (r2 * std::sqrt(r2));
+        acc[3 * i + 0] += dx * inv;
+        acc[3 * i + 1] += dy * inv;
+        acc[3 * i + 2] += dz * inv;
+      }
+    }
+  }
+
+  void integrate(std::vector<double>& pos, std::vector<double>& vel,
+                 const std::vector<double>& acc, std::size_t i0,
+                 std::size_t i1) const {
+    for (std::size_t i = 3 * i0; i < 3 * i1; ++i) {
+      vel[i] += kDt * acc[i];
+      pos[i] += kDt * vel[i];
+    }
+  }
+
+  std::size_t n_, steps_;
+  std::vector<double> pos_, vel_, acc_, refPos_;
+};
+
+}  // namespace
+
+std::unique_ptr<App> makeNbody(AppScale scale) {
+  return std::make_unique<NbodyApp>(scale);
+}
+
+}  // namespace ats::apps

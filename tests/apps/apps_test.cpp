@@ -1,0 +1,117 @@
+// The apps layer's verification matrix: every paper app must compute the
+// serial answer through its parallel task graph, on both the paper's
+// delegation scheduler and the work-stealing stand-in, and verify() must
+// actually be able to say no (the corruption test) — a benchmark whose
+// checker cannot fail proves nothing.
+#include "apps/app.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+
+namespace ats {
+namespace {
+
+RuntimeConfig appTestConfig(SchedulerKind sched) {
+  RuntimeConfig config = optimizedConfig(makeTopology(MachinePreset::Host, 4));
+  config.scheduler = sched;
+  return config;
+}
+
+std::string schedName(SchedulerKind kind) {
+  return kind == SchedulerKind::SyncDelegation ? "SyncDelegation"
+                                               : "WorkStealing";
+}
+
+using AppCase = std::tuple<std::string, SchedulerKind>;
+
+class AppVerifyTest : public ::testing::TestWithParam<AppCase> {};
+
+std::vector<AppCase> allAppCases() {
+  std::vector<AppCase> cases;
+  for (const std::string& name : appNames())
+    for (SchedulerKind sched :
+         {SchedulerKind::SyncDelegation, SchedulerKind::WorkStealing})
+      cases.emplace_back(name, sched);
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppVerifyTest,
+                         ::testing::ValuesIn(allAppCases()),
+                         [](const auto& info) {
+                           return std::get<0>(info.param) + "_" +
+                                  schedName(std::get<1>(info.param));
+                         });
+
+TEST_P(AppVerifyTest, SerialEqualsParallel) {
+  const auto& [name, sched] = GetParam();
+  auto app = makeApp(name, AppScale::Quick);
+  Runtime rt(appTestConfig(sched));
+
+  // A mid-grid block size (real parallelism), then the coarsest — the
+  // second run through the same Runtime exercises state re-initialization
+  // and dependency-object reuse.
+  const auto sizes = app->defaultBlockSizes();
+  ASSERT_FALSE(sizes.empty());
+  for (const std::size_t bs : {sizes[sizes.size() / 2], sizes.front()}) {
+    const AppResult r = app->run(rt, bs);
+    EXPECT_TRUE(r.verified)
+        << name << " block " << bs << ": maxRelError=" << r.maxRelError
+        << " tolerance=" << app->tolerance() << " checksum=" << r.checksum;
+    EXPECT_GT(r.tasks, 0u);
+    EXPECT_GT(r.workUnits, 0.0);
+    EXPECT_GT(r.seconds, 0.0);
+    EXPECT_GT(r.grainWorkUnits(), 0.0);
+    EXPECT_GT(r.throughput(), 0.0);
+  }
+}
+
+TEST(AppCorruptionTest, VerifyRejectsDamagedOutput) {
+  // The checker must fail when the answer is wrong — for EVERY app: run
+  // once (verified), damage the parallel output, expect rejection.
+  Runtime rt(appTestConfig(SchedulerKind::SyncDelegation));
+  for (const std::string& name : appNames()) {
+    auto app = makeApp(name, AppScale::Quick);
+    const std::size_t bs = app->defaultBlockSizes().front();
+    const AppResult r = app->run(rt, bs);
+    ASSERT_TRUE(r.verified) << name;
+    app->corruptOutput();
+    const VerifyResult v = app->verify();
+    EXPECT_FALSE(v.ok) << name << ": verify() accepted a corrupted answer";
+    EXPECT_GT(v.maxRelError, app->tolerance()) << name;
+  }
+}
+
+TEST(AppFactoryTest, AllPaperNamesResolveAndBlockGridsDivide) {
+  EXPECT_EQ(appNames().size(), 8u);
+  for (const std::string& name : appNames()) {
+    auto app = makeApp(name, AppScale::Quick);
+    EXPECT_EQ(app->name(), name);
+    const auto sizes = app->defaultBlockSizes();
+    ASSERT_GE(sizes.size(), 2u) << name;
+    // Coarse -> fine, the runFigure/selectSizes contract.
+    for (std::size_t i = 1; i < sizes.size(); ++i)
+      EXPECT_LT(sizes[i], sizes[i - 1]) << name << " grid not descending";
+    EXPECT_GT(app->totalWorkUnits(), 0.0) << name;
+  }
+}
+
+TEST(AppFactoryTest, UnknownNameThrows) {
+  EXPECT_THROW(makeApp("notanapp", AppScale::Quick), std::invalid_argument);
+}
+
+TEST(AppFactoryTest, FullScaleGridsAreCoarserProblemsAreBigger) {
+  for (const std::string& name : appNames()) {
+    auto quick = makeApp(name, AppScale::Quick);
+    auto full = makeApp(name, AppScale::Full);
+    EXPECT_GT(full->totalWorkUnits(), quick->totalWorkUnits()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ats
