@@ -1,0 +1,211 @@
+// Prices the registration fast path (ISSUE 9): every spawn pays one
+// ObjectTable::lookupOrCreate per declared access, and the apps layer
+// (heat, hpccg, lulesh) re-registers the same block addresses every
+// iteration — so the reused-address steady state is the case worth
+// optimizing.  Two layers of measurement:
+//
+//   * BM_TableLookupReused: ObjectTable::lookupOrCreate alone, on a
+//     per-thread ring of known addresses — the exact shared-state cost
+//     a registration pays per access, with nothing else in the loop.
+//     The seed table's per-lookup price here is a shard SpinLock plus
+//     an unordered_map probe; the replacement's is a TLS cache hit.
+//   * BM_Register*: deps-layer register+release round trips on
+//     preallocated descriptors through a no-op ready sink — no
+//     scheduler, no allocator, no task body.  The per-access table
+//     lookup is the dominant shared-state cost, which is exactly the
+//     knob under test.  Threads share ONE dependency system (that is
+//     where the seed table's shard locks meet) but own disjoint
+//     address sets, per the same-object serialization contract.
+//   * BM_SpawnRoundTrip*: full runtime spawn -> ready -> run -> release
+//     round trips (empty bodies) through optimizedConfig, the number
+//     the efficiency knee in fig4-9 is made of.
+//
+// Address streams:
+//   * Reused: a small per-thread ring (kReusedAddrs) cycled forever —
+//     steady-state re-registration, the hpccg shape.  With the TLS
+//     entry cache this touches no shared line after the first pass.
+//   * Fresh: a ring far larger than the TLS cache (kFreshAddrs), so
+//     after the first insert pass every lookup is a cache-defeating
+//     full-table probe — the insert/probe path's price, not the hit
+//     path's.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "deps/object_table.hpp"
+#include "runtime/runtime.hpp"
+
+namespace {
+
+using namespace ats;
+
+constexpr int kBatch = 2000;
+constexpr std::size_t kReusedAddrs = 64;
+constexpr std::size_t kFreshAddrs = std::size_t{1} << 15;
+
+// Synthetic, never-dereferenced object keys: disjoint per thread so the
+// sibling-task serialization rule holds with zero cross-thread object
+// overlap (the table itself is still fully shared).
+void* addrFor(std::size_t thread, std::size_t index) {
+  return reinterpret_cast<void*>(((thread + 1) << 44) | ((index + 1) << 6));
+}
+
+/// Stand-in for a per-object dependency record: one cache line, like
+/// the deps systems' entries.  The bench never mutates it — the cost
+/// under test is finding it.
+struct alignas(64) LookupEntry {
+  std::uintptr_t tag = 0;
+};
+
+ObjectTable<LookupEntry>* gLookupTable = nullptr;
+
+/// The registration fast path in isolation: lookupOrCreate over a
+/// per-thread reused ring, one shared table.  arg = ring size.
+void BM_TableLookupReused(benchmark::State& state) {
+  const auto ringSize = static_cast<std::size_t>(state.range(0));
+  const auto tid = static_cast<std::size_t>(state.thread_index());
+  if (tid == 0) gLookupTable = new ObjectTable<LookupEntry>;
+
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    ObjectTable<LookupEntry>& table = *gLookupTable;
+    for (int i = 0; i < kBatch; ++i) {
+      benchmark::DoNotOptimize(&table.lookupOrCreate(addrFor(tid, cursor)));
+      cursor = cursor + 1 == ringSize ? 0 : cursor + 1;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+
+  if (tid == 0) {
+    delete gLookupTable;
+    gLookupTable = nullptr;
+  }
+}
+
+struct RegisterShared {
+  std::unique_ptr<DependencySystem> deps;
+  // Descriptor pairs live here (not on thread stacks) so thread 0 can
+  // reset() at teardown while every thread's final chain target is
+  // still valid storage.
+  std::vector<std::unique_ptr<DepTask[]>> tasks;
+};
+
+RegisterShared* gReg = nullptr;
+
+void noopReady(void* /*ctx*/, DepTask* /*task*/, std::size_t /*cpu*/) {}
+
+/// Deps-layer round trip: register `accCount` writes, then release.
+/// Ping-pongs two descriptors per thread so a re-registration always
+/// chains behind the OTHER descriptor's (completed) node, never its own.
+void registerRoundTrip(benchmark::State& state, bool reuse) {
+  const auto accCount = static_cast<std::size_t>(state.range(0));
+  const auto tid = static_cast<std::size_t>(state.thread_index());
+  if (tid == 0) {
+    gReg = new RegisterShared;
+    gReg->deps = makeDependencySystem(DepsKind::WaitFreeAsm,
+                                      ReadySink{&noopReady, nullptr});
+    for (int t = 0; t < state.threads(); ++t)
+      gReg->tasks.push_back(std::make_unique<DepTask[]>(2));
+  }
+
+  const std::size_t ringSize = reuse ? kReusedAddrs : kFreshAddrs;
+  std::size_t cursor = 0;
+  std::size_t flip = 0;
+  for (auto _ : state) {
+    DependencySystem& deps = *gReg->deps;
+    DepTask* pair = gReg->tasks[tid].get();
+    for (int i = 0; i < kBatch; ++i) {
+      Access acc[kMaxAccessesPerTask];
+      for (std::size_t j = 0; j < accCount; ++j) {
+        acc[j] = Access{addrFor(tid, cursor), AccessMode::InOut};
+        cursor = cursor + 1 == ringSize ? 0 : cursor + 1;
+      }
+      DepTask* task = &pair[flip];
+      flip ^= 1;
+      deps.registerTask(task, acc, accCount, 0);
+      deps.release(task, 0);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+
+  if (tid == 0) {
+    gReg->deps->reset();
+    delete gReg;
+    gReg = nullptr;
+  }
+}
+
+void BM_RegisterReused(benchmark::State& state) {
+  registerRoundTrip(state, /*reuse=*/true);
+}
+void BM_RegisterFresh(benchmark::State& state) {
+  registerRoundTrip(state, /*reuse=*/false);
+}
+
+/// Full runtime round trip, empty bodies.  Reused cycles kReusedVars
+/// addresses within each taskwait window (each address re-registered
+/// ~kBatch/kReusedVars times per window — the hpccg shape; the write
+/// chains this builds are the point: re-registration of a known
+/// address).  Fresh walks a ring much larger than the TLS cache.
+constexpr std::size_t kReusedVars = 128;
+constexpr std::size_t kFreshVars = std::size_t{1} << 16;
+
+void spawnRoundTrip(benchmark::State& state, bool reuse) {
+  const auto accCount = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kThreads = 4;
+  RuntimeConfig cfg =
+      optimizedConfig(makeTopology(MachinePreset::Host, kThreads));
+  Runtime rt(cfg);
+  std::vector<long long> vars(reuse ? kReusedVars : kFreshVars);
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      Access acc[kMaxAccessesPerTask];
+      for (std::size_t j = 0; j < accCount; ++j) {
+        acc[j] = out(vars[cursor]);
+        cursor = cursor + 1 == vars.size() ? 0 : cursor + 1;
+      }
+      rt.spawn(std::span<const Access>(acc, accCount), [] {});
+    }
+    rt.taskwait();
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+void BM_SpawnRoundTripReused(benchmark::State& state) {
+  spawnRoundTrip(state, /*reuse=*/true);
+}
+void BM_SpawnRoundTripFresh(benchmark::State& state) {
+  spawnRoundTrip(state, /*reuse=*/false);
+}
+
+}  // namespace
+
+BENCHMARK(BM_TableLookupReused)
+    ->ArgName("addrs")
+    ->Arg(16)->Arg(64)->Arg(256)
+    ->Threads(1)->Threads(4)->Threads(8)
+    ->UseRealTime();
+BENCHMARK(BM_RegisterReused)
+    ->ArgName("acc")
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Threads(1)->Threads(4)->Threads(8)
+    ->UseRealTime();
+BENCHMARK(BM_RegisterFresh)
+    ->ArgName("acc")
+    ->Arg(4)
+    ->Threads(1)->Threads(4)->Threads(8)
+    ->UseRealTime();
+BENCHMARK(BM_SpawnRoundTripReused)
+    ->ArgName("acc")
+    ->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SpawnRoundTripFresh)
+    ->ArgName("acc")
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,65 +1,288 @@
 #pragma once
 
+#include <atomic>
+#include <bit>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
-#include <mutex>
-#include <unordered_map>
+#include <new>
 
-#include "locks/locks.hpp"
+#include "memory/stable_pool.hpp"
 
 namespace ats {
 
-/// Address -> per-object dependency state, sharded so registrations from
-/// different spawners on different objects do not serialize on one lock.
-/// Lookups happen only on the registration path; release never touches
-/// the table (every access node carries direct pointers to what it must
-/// poke), which is where the wait-free claim for release lives.
+namespace object_table_detail {
+
+/// Epoch values are handed out from one process-wide monotonic source,
+/// so an epoch identifies one table GENERATION uniquely across every
+/// table (and table instantiation type) that ever exists in the
+/// process.  A TLS cache entry stamped with a dead generation can
+/// therefore never be mistaken for a live one — not after a reset, not
+/// after a table is destroyed and a new one lands on the same heap
+/// address.
+inline std::atomic<std::uint64_t> gEpochSource{1};
+
+/// Fibonacci multiply-shift over the middle address bits (heap
+/// addresses share their low alignment bits and high region bits).
+/// Consumers index with the TOP bits of the result — those are the
+/// well-mixed ones.
+inline std::uint64_t mixAddress(std::uintptr_t bits) {
+  return (static_cast<std::uint64_t>(bits) >> 4) * 0x9E3779B97F4A7C15ull;
+}
+
+inline constexpr std::size_t kCacheSlotsLog2 = 9;
+inline constexpr std::size_t kCacheSlots = std::size_t{1} << kCacheSlotsLog2;
+
+struct CacheSlot {
+  std::uint64_t epoch = 0;  ///< 0 never matches (epochs start at 1)
+  std::uintptr_t key = 0;
+  void* entry = nullptr;
+};
+
+/// One direct-mapped lookup cache per thread, shared by every table in
+/// the process (the epoch stamp disambiguates tables).  Hit/miss
+/// counters are per-thread plain increments — effectively free next to
+/// the TLS line the lookup already touches — and give tests and debug
+/// dumps an exact, race-free view of the calling thread's hit rate.
+struct ThreadCache {
+  CacheSlot slots[kCacheSlots];
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+inline ThreadCache& threadCache() {
+  thread_local ThreadCache cache;
+  return cache;
+}
+
+}  // namespace object_table_detail
+
+/// The calling thread's TLS-cache counters (aggregated over all tables;
+/// see ThreadCache).  Exposed for tests and stats dumps.
+struct ObjectTableCacheCounters {
+  std::uint64_t hits;
+  std::uint64_t misses;
+};
+
+inline ObjectTableCacheCounters objectTableThreadCacheCounters() {
+  const auto& cache = object_table_detail::threadCache();
+  return {cache.hits, cache.misses};
+}
+
+/// Address -> per-object dependency state, with LOCK-FREE lookups: the
+/// registration path — up to kMaxAccessesPerTask lookups per spawn —
+/// was the last lock the spawn hot path paid (the seed design probed a
+/// spinlocked unordered_map shard per access).
 ///
-/// Entries are created on first use and live for the table's lifetime —
-/// the dependency systems' reset() clears entry *fields* at quiescence
-/// but deliberately keeps the allocations warm for reused addresses.
-/// A workload that touches an unbounded stream of fresh addresses
-/// therefore grows the table monotonically; quiescent compaction is a
-/// ROADMAP item for the apps layer.
+/// Three tiers, fastest first:
+///
+///   1. TLS entry cache: a per-thread direct-mapped address->Entry*
+///      cache, stamped with the table's epoch.  Steady-state
+///      re-registration of a known address (the apps layer re-registers
+///      the same block addresses every iteration) hits here and touches
+///      no shared mutable line at all — the spawn-side analogue of the
+///      SPSC cached-index trick.  `invalidateThreadCaches()` (called by
+///      the dependency systems' quiescent reset) bumps the epoch, which
+///      invalidates every thread's entries for this table at once.
+///   2. Lock-free probe: open-addressed segments probed with acquire
+///      loads — no RMW, no lock, for any address already in the table.
+///   3. CAS-claim insert: first touch of an address placement-news an
+///      Entry node from a StablePool (spinlocked, but only this cold
+///      tier ever takes it) and publishes it with one CAS.  Losing a
+///      same-address race recycles the unpublished node and adopts the
+///      winner's — every caller pins exactly one Entry per address.
+///
+/// Growth appends segments of doubling size instead of rehashing, so a
+/// published Entry* is STABLE for the table's lifetime — which is what
+/// makes tier 1 sound, and what the dependency systems already relied
+/// on (reset() clears entry fields at quiescence but keeps the
+/// allocations warm for reused addresses; FineGrainedLocksDeps stores
+/// entry pointers in access nodes).  Probe sequences are deterministic
+/// and slot occupancy is monotone (slots fill, never empty), so an
+/// empty slot proves the key is not later in that segment's window and
+/// a full window proves it can only be in a later segment.
+///
+/// A workload touching an unbounded stream of fresh addresses still
+/// grows the table monotonically; quiescent compaction remains a
+/// ROADMAP item (the epoch machinery here is the hook it will need).
 template <typename Entry>
 class ObjectTable {
  public:
-  Entry& lookupOrCreate(void* object) {
-    Shard& shard = shards_[shardOf(object)];
-    std::lock_guard<SpinLock> guard(shard.lock);
-    std::unique_ptr<Entry>& slot = shard.map[object];
-    if (!slot) slot = std::make_unique<Entry>();
-    return *slot;
+  ObjectTable()
+      : pool_(sizeof(Node), /*blockAlign=*/64),
+        epoch_(object_table_detail::gEpochSource.fetch_add(
+            1, std::memory_order_relaxed)) {
+    for (auto& segment : segments_)
+      segment.store(nullptr, std::memory_order_relaxed);
+    segments_[0].store(new Segment(kFirstSegmentSlots),
+                       std::memory_order_release);
   }
 
-  /// Visit every entry.  Only called at quiescence (taskwait reset), but
-  /// takes the shard locks anyway so a misuse shows up as contention, not
-  /// corruption.
+  ~ObjectTable() {
+    for (auto& slot : segments_) {
+      Segment* segment = slot.load(std::memory_order_acquire);
+      if (segment == nullptr) continue;
+      for (std::size_t i = 0; i <= segment->mask; ++i) {
+        Node* node = segment->slots[i].load(std::memory_order_acquire);
+        if (node != nullptr) node->~Node();
+      }
+      delete segment;
+    }
+    // Node storage itself goes with pool_.
+  }
+
+  ObjectTable(const ObjectTable&) = delete;
+  ObjectTable& operator=(const ObjectTable&) = delete;
+
+  Entry& lookupOrCreate(void* object) {
+    namespace detail = object_table_detail;
+    const auto bits = reinterpret_cast<std::uintptr_t>(object);
+    const std::uint64_t mixed = detail::mixAddress(bits);
+    // Relaxed epoch load: the stamp only has to be current with respect
+    // to the last quiescent reset, and quiescence already orders this
+    // thread after it (the runtime's taskwait/ready hand-off chain).
+    const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+    detail::ThreadCache& cache = detail::threadCache();
+    detail::CacheSlot& slot =
+        cache.slots[mixed >> (64 - detail::kCacheSlotsLog2)];
+    if (slot.epoch == epoch && slot.key == bits) {
+      // No acquire needed: this thread published or acquire-loaded the
+      // entry when it filled the slot, so it already happens-after the
+      // entry's construction.
+      ++cache.hits;
+      return *static_cast<Entry*>(slot.entry);
+    }
+    ++cache.misses;
+    Entry& entry = lookupOrCreateShared(object, mixed);
+    slot.epoch = epoch;
+    slot.key = bits;
+    slot.entry = &entry;
+    return entry;
+  }
+
+  /// Visit every entry.  Lock-free acquire scans; only sound at
+  /// quiescence (the dependency systems call it from reset(), when no
+  /// registration is concurrent), like the mutation contract on the
+  /// entries themselves.
   template <typename Fn>
   void forEach(Fn&& fn) {
-    for (Shard& shard : shards_) {
-      std::lock_guard<SpinLock> guard(shard.lock);
-      for (auto& [object, entry] : shard.map) fn(*entry);
+    for (auto& slot : segments_) {
+      Segment* segment = slot.load(std::memory_order_acquire);
+      if (segment == nullptr) continue;
+      for (std::size_t i = 0; i <= segment->mask; ++i) {
+        Node* node = segment->slots[i].load(std::memory_order_acquire);
+        if (node != nullptr) fn(node->entry);
+      }
     }
   }
 
- private:
-  static constexpr std::size_t kShards = 64;
-
-  static std::size_t shardOf(void* object) {
-    auto bits = reinterpret_cast<std::uintptr_t>(object);
-    // Mix the middle bits: heap addresses share their low (alignment) and
-    // high (region) bits.
-    return static_cast<std::size_t>((bits >> 4) ^ (bits >> 12)) %
-           kShards;
+  /// Move this table to a fresh epoch, orphaning every TLS-cached entry
+  /// stamped with the old one.  Entries themselves survive (pointers
+  /// stay valid and warm); only the per-thread caches start cold.
+  /// Caller guarantees quiescence, same as forEach.
+  void invalidateThreadCaches() {
+    epoch_.store(object_table_detail::gEpochSource.fetch_add(
+                     1, std::memory_order_relaxed),
+                 std::memory_order_relaxed);
   }
 
-  struct Shard {
-    SpinLock lock;
-    std::unordered_map<void*, std::unique_ptr<Entry>> map;
+  /// Published entries (exact at quiescence; a mid-insert reading may
+  /// trail by in-flight CASes).
+  std::size_t entryCount() const {
+    return entryCount_.load(std::memory_order_relaxed);
+  }
+
+  /// Allocated probe segments (1 until the first window overflow).
+  std::size_t segmentCount() const {
+    std::size_t count = 0;
+    for (const auto& slot : segments_) {
+      if (slot.load(std::memory_order_acquire) != nullptr) ++count;
+    }
+    return count;
+  }
+
+ private:
+  struct Node {
+    explicit Node(void* obj) : object(obj) {}
+
+    void* const object;
+    Entry entry;
   };
 
-  Shard shards_[kShards];
+  struct Segment {
+    explicit Segment(std::size_t slotCount)
+        : mask(slotCount - 1),
+          shift(64 - std::countr_zero(slotCount)),
+          slots(std::make_unique<std::atomic<Node*>[]>(slotCount)) {}
+
+    const std::size_t mask;
+    const int shift;  ///< mixed >> shift = top log2(slotCount) bits
+    const std::unique_ptr<std::atomic<Node*>[]> slots;
+  };
+
+  static constexpr std::size_t kFirstSegmentSlots = 1024;
+  static constexpr std::size_t kMaxSegments = 24;  // 1024 << 23 slots
+  static constexpr std::size_t kProbeWindow = 16;
+
+  Entry& lookupOrCreateShared(void* object, std::uint64_t mixed) {
+    Node* candidate = nullptr;
+    for (std::size_t si = 0; si < kMaxSegments; ++si) {
+      Segment& segment = segmentAt(si);
+      const auto base = static_cast<std::size_t>(mixed >> segment.shift);
+      for (std::size_t probe = 0; probe < kProbeWindow; ++probe) {
+        std::atomic<Node*>& bucket =
+            segment.slots[(base + probe) & segment.mask];
+        Node* node = bucket.load(std::memory_order_acquire);
+        if (node == nullptr) {
+          if (candidate == nullptr) {
+            candidate = ::new (pool_.allocate()) Node(object);
+          }
+          if (bucket.compare_exchange_strong(node, candidate,
+                                             std::memory_order_release,
+                                             std::memory_order_acquire)) {
+            entryCount_.fetch_add(1, std::memory_order_relaxed);
+            return candidate->entry;
+          }
+          // CAS failure reloaded `node` with the racing winner; fall
+          // through to the key check — a same-address race adopts it.
+        }
+        if (node->object == object) {
+          if (candidate != nullptr) {
+            candidate->~Node();
+            pool_.recycle(candidate);
+          }
+          return node->entry;
+        }
+      }
+      // Window full of other keys in this segment — the key, if
+      // present, can only live in a later (larger) segment.
+    }
+    std::fprintf(stderr,
+                 "ats::ObjectTable: exhausted %zu doubling segments — "
+                 "unreachably many distinct dependency objects\n",
+                 kMaxSegments);
+    std::abort();
+  }
+
+  Segment& segmentAt(std::size_t si) {
+    Segment* segment = segments_[si].load(std::memory_order_acquire);
+    if (segment != nullptr) return *segment;
+    auto* fresh = new Segment(kFirstSegmentSlots << si);
+    Segment* expected = nullptr;
+    if (segments_[si].compare_exchange_strong(expected, fresh,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+      return *fresh;
+    }
+    delete fresh;  // lost the allocation race; adopt the winner's
+    return *expected;
+  }
+
+  StablePool pool_;
+  std::atomic<std::uint64_t> epoch_;
+  std::atomic<std::size_t> entryCount_{0};
+  std::atomic<Segment*> segments_[kMaxSegments];
 };
 
 }  // namespace ats

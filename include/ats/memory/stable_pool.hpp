@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+#include "locks/locks.hpp"
+
+namespace ats {
+
+/// Chunked pool of fixed-size raw blocks whose addresses are STABLE for
+/// the pool's lifetime: blocks are carved out of large chunks and never
+/// returned to the system until the pool is destroyed.  This is the
+/// allocation discipline concurrent structures with lock-free readers
+/// need — a reader holding a block pointer can never see the storage
+/// disappear under it (the ObjectTable's Entry nodes are the first
+/// customer: its TLS lookup cache and lock-free probes both depend on
+/// published entries staying put).
+///
+/// allocate()/recycle() take a SpinLock, so this is NOT a hot-path
+/// allocator — it is for objects allocated once per logical key (first
+/// touch of a dependency address) and read forever after.  recycle()
+/// exists for the one cold race the lock-free-insert idiom creates: a
+/// block built speculatively, lost the publishing CAS, and therefore
+/// never became visible to anyone — only such unpublished blocks may be
+/// recycled.
+///
+/// The pool hands out raw storage; callers placement-new into it and
+/// are responsible for destroying every object they constructed before
+/// the pool dies (the pool frees memory, it does not run destructors).
+class StablePool {
+ public:
+  /// Blocks of `blockBytes`, each aligned to `blockAlign` (which must
+  /// be a power of two).  The stride between blocks is rounded up to
+  /// the alignment, so requesting 64-byte alignment also gives each
+  /// block its own cache line(s) — no false sharing between neighbors.
+  StablePool(std::size_t blockBytes, std::size_t blockAlign,
+             std::size_t blocksPerChunk = 256)
+      : stride_((blockBytes + blockAlign - 1) & ~(blockAlign - 1)),
+        align_(blockAlign),
+        blocksPerChunk_(blocksPerChunk),
+        usedInChunk_(blocksPerChunk) {}
+
+  ~StablePool() {
+    for (void* chunk : chunks_) {
+      ::operator delete(chunk, std::align_val_t{align_});
+    }
+  }
+
+  StablePool(const StablePool&) = delete;
+  StablePool& operator=(const StablePool&) = delete;
+
+  /// Raw storage for one block.  Thread-safe; the lock is held for a
+  /// pointer bump (or a freelist pop), plus one chunk allocation every
+  /// `blocksPerChunk` calls.
+  void* allocate() {
+    std::lock_guard<SpinLock> guard(lock_);
+    if (!freeList_.empty()) {
+      void* block = freeList_.back();
+      freeList_.pop_back();
+      return block;
+    }
+    if (usedInChunk_ == blocksPerChunk_) {
+      chunks_.push_back(::operator new(stride_ * blocksPerChunk_,
+                                       std::align_val_t{align_}));
+      usedInChunk_ = 0;
+    }
+    void* block = static_cast<char*>(chunks_.back()) +
+                  stride_ * usedInChunk_;
+    ++usedInChunk_;
+    return block;
+  }
+
+  /// Return a block that was never published to any other thread (see
+  /// class comment).  The caller has already destroyed its contents.
+  void recycle(void* block) {
+    std::lock_guard<SpinLock> guard(lock_);
+    freeList_.push_back(block);
+  }
+
+  std::size_t blockStride() const { return stride_; }
+  std::size_t chunkCount() const {
+    std::lock_guard<SpinLock> guard(lock_);
+    return chunks_.size();
+  }
+
+ private:
+  const std::size_t stride_;
+  const std::size_t align_;
+  const std::size_t blocksPerChunk_;
+
+  mutable SpinLock lock_;
+  std::vector<void*> chunks_;
+  std::size_t usedInChunk_;
+  std::vector<void*> freeList_;
+};
+
+}  // namespace ats

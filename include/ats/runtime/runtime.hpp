@@ -65,11 +65,15 @@ class Runtime {
   /// Task::kInlineClosureBytes live inline in the descriptor, larger ones
   /// on the heap.  Returns as soon as the accesses are registered — the
   /// body runs when its dependencies resolve, on whatever worker gets it.
+  ///
+  /// Every overload funnels into registerAndSubmit — one descriptor
+  /// set-up and registration path, so invariants (access-count check,
+  /// in-flight accounting, completion wiring) live in exactly one place
+  /// and the overloads differ only in how the body is installed.
   template <typename Fn>
   void spawn(std::initializer_list<Access> accesses, Fn&& fn) {
-    Task* task = allocateTask();
-    installClosure(task, std::forward<Fn>(fn));
-    submit(task, accesses.begin(), accesses.size());
+    spawn(std::span<const Access>(accesses.begin(), accesses.size()),
+          std::forward<Fn>(fn));
   }
 
   /// Span spawn for access lists whose arity is only known at run time —
@@ -80,7 +84,7 @@ class Runtime {
   void spawn(std::span<const Access> accesses, Fn&& fn) {
     Task* task = allocateTask();
     installClosure(task, std::forward<Fn>(fn));
-    submit(task, accesses.data(), accesses.size());
+    registerAndSubmit(task, accesses);
   }
 
   /// Raw function-pointer spawn for callers that manage their own state.
@@ -154,7 +158,7 @@ class Runtime {
   }
 
   Task* allocateTask();
-  void submit(Task* task, const Access* accesses, std::size_t count);
+  void registerAndSubmit(Task* task, std::span<const Access> accesses);
   void workerLoop(std::size_t cpu);
   void complete(Task* task);
   void quiesce();

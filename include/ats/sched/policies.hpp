@@ -4,9 +4,11 @@
 #include <cstddef>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/topology.hpp"
+#include "locks/locks.hpp"
 #include "sched/policy_kind.hpp"
 #include "sched/scheduler.hpp"
 
@@ -82,6 +84,16 @@ class LifoPolicy final : public SchedulerPolicy {
 /// round-robining the remote ones, so under load tasks execute where
 /// their producer's data lives and remote pulls only happen instead of
 /// idling.  Within one domain the order stays FIFO.
+///
+/// Unlike the single-queue policies, each domain carries its OWN
+/// SpinLock: the policy is a lock hierarchy, not a single critical
+/// section.  Under a serializing scheduler (DTLock) the locks are
+/// uncontended-by-construction and cost one local RMW; under a
+/// concurrent caller, adds and gets on DIFFERENT domains proceed fully
+/// in parallel and only same-domain traffic serializes — the queue-side
+/// analogue of the deps/pool domain sharding.  At most one domain lock
+/// is ever held at a time (getters release one domain before probing
+/// the next), so lock ordering is trivial and deadlock-free.
 class NumaFifoPolicy final : public SchedulerPolicy {
  public:
   explicit NumaFifoPolicy(const Topology& topo) : topo_(topo) {
@@ -91,20 +103,27 @@ class NumaFifoPolicy final : public SchedulerPolicy {
     // Topology must degrade to one global FIFO, not to UB.
     if (topo_.numNumaDomains < 1) topo_.numNumaDomains = 1;
     if (topo_.numCpus < 1) topo_.numCpus = 1;
-    domains_.resize(topo_.numNumaDomains);
+    domainCount_ = topo_.numNumaDomains;
+    // unique_ptr<Domain[]>, not vector<Domain>: a Domain is pinned by
+    // its SpinLock (atomics are not movable) and vector requires
+    // move-insertable elements even for the initial fill.
+    domains_ = std::make_unique<Domain[]>(domainCount_);
   }
 
   void addTask(Task* task, std::size_t cpu) override {
-    domains_[domainOf(cpu)].push_back(task);
+    Domain& domain = domains_[domainOf(cpu)];
+    std::lock_guard<SpinLock> guard(domain.lock);
+    domain.queue.push_back(task);
   }
 
   Task* getTask(std::size_t cpu) override {
     const std::size_t home = domainOf(cpu);
-    for (std::size_t i = 0; i < domains_.size(); ++i) {
-      auto& queue = domains_[(home + i) % domains_.size()];
-      if (!queue.empty()) {
-        Task* task = queue.front();
-        queue.pop_front();
+    for (std::size_t i = 0; i < domainCount_; ++i) {
+      Domain& domain = domains_[(home + i) % domainCount_];
+      std::lock_guard<SpinLock> guard(domain.lock);
+      if (!domain.queue.empty()) {
+        Task* task = domain.queue.front();
+        domain.queue.pop_front();
         return task;
       }
     }
@@ -114,11 +133,12 @@ class NumaFifoPolicy final : public SchedulerPolicy {
   std::size_t getTasks(Task** out, std::size_t n, std::size_t cpu) override {
     const std::size_t home = domainOf(cpu);
     std::size_t got = 0;
-    for (std::size_t i = 0; i < domains_.size() && got < n; ++i) {
-      auto& queue = domains_[(home + i) % domains_.size()];
-      while (got < n && !queue.empty()) {
-        out[got++] = queue.front();
-        queue.pop_front();
+    for (std::size_t i = 0; i < domainCount_ && got < n; ++i) {
+      Domain& domain = domains_[(home + i) % domainCount_];
+      std::lock_guard<SpinLock> guard(domain.lock);
+      while (got < n && !domain.queue.empty()) {
+        out[got++] = domain.queue.front();
+        domain.queue.pop_front();
       }
     }
     return got;
@@ -127,6 +147,13 @@ class NumaFifoPolicy final : public SchedulerPolicy {
   const char* policyName() const override { return "numa_fifo"; }
 
  private:
+  /// One ready FIFO plus its lock, on a private cache line so domain 0's
+  /// lock traffic never invalidates domain 1's.
+  struct alignas(64) Domain {
+    SpinLock lock;
+    std::deque<Task*> queue;
+  };
+
   std::size_t domainOf(std::size_t cpu) const {
     // Topology::domainOfSlot owns the slot→domain rule (reserved slots —
     // the Runtime's spawner — fold onto a real CPU's domain, so the
@@ -134,11 +161,12 @@ class NumaFifoPolicy final : public SchedulerPolicy {
     // hand-built topologies whose domain count exceeds our normalized
     // queue count.
     const std::size_t domain = topo_.domainOfSlot(cpu);
-    return domain < domains_.size() ? domain : domains_.size() - 1;
+    return domain < domainCount_ ? domain : domainCount_ - 1;
   }
 
   Topology topo_;
-  std::vector<std::deque<Task*>> domains_;
+  std::size_t domainCount_ = 0;
+  std::unique_ptr<Domain[]> domains_;
 };
 
 /// Build the policy a PolicyKind names.  `topo` must be the same shape

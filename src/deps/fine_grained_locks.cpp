@@ -108,6 +108,7 @@ void FineGrainedLocksDeps::release(DepTask* task, std::size_t cpu) {
 }
 
 void FineGrainedLocksDeps::reset() {
+  objects_.invalidateThreadCaches();  // TLS entries go stale with the epoch
   objects_.forEach([](ObjectLocked& obj) {
     std::lock_guard<SpinLock> guard(obj.lock);
     assert(obj.head == nullptr && "reset with accesses still queued");

@@ -232,6 +232,10 @@ void WaitFreeAsmDeps::release(DepTask* task, std::size_t cpu) {
 }
 
 void WaitFreeAsmDeps::reset() {
+  // New epoch first: every TLS-cached entry for this table goes stale
+  // before any field is cleared, so a thread resuming after quiescence
+  // re-probes instead of trusting a pre-reset stamp.
+  objects_.invalidateThreadCaches();
   objects_.forEach([](ObjectAsm& obj) {
     if (obj.lastWrite != nullptr) {
       // Quiescence: nothing will chase this chain again, so the final

@@ -112,7 +112,8 @@ void Runtime::spawn(std::initializer_list<Access> accesses,
   Task* task = allocateTask();
   task->body = fn;
   task->arg = arg;
-  submit(task, accesses.begin(), accesses.size());
+  registerAndSubmit(task,
+                    std::span<const Access>(accesses.begin(), accesses.size()));
 }
 
 Task* Runtime::allocateTask() {
@@ -141,15 +142,16 @@ void Runtime::reclaimThunk(DepTask& dep) {
   self->bumpDescriptorDelta(-1);
 }
 
-void Runtime::submit(Task* task, const Access* accesses, std::size_t count) {
+void Runtime::registerAndSubmit(Task* task,
+                                std::span<const Access> accesses) {
   // Checked in release builds too: overflowing the fixed access array
   // would silently corrupt the descriptor, and this layer's contract is
   // that misconfigured spawns fail loudly.
-  if (count > kMaxAccessesPerTask) {
+  if (accesses.size() > kMaxAccessesPerTask) {
     std::fprintf(stderr,
                  "ats::Runtime::spawn(): task declares %zu accesses, the "
                  "descriptor holds at most %zu\n",
-                 count, kMaxAccessesPerTask);
+                 accesses.size(), kMaxAccessesPerTask);
     std::abort();
   }
   task->runtime = this;
@@ -157,7 +159,7 @@ void Runtime::submit(Task* task, const Access* accesses, std::size_t count) {
   // Count the task in before registering: the sink can hand it to a
   // worker that runs and completes it before registerTask even returns.
   inFlight_.fetch_add(1, std::memory_order_relaxed);
-  deps_->registerTask(task, accesses, count, callerCpu());
+  deps_->registerTask(task, accesses.data(), accesses.size(), callerCpu());
 }
 
 void Runtime::completeThunk(Task& task) {

@@ -1,0 +1,222 @@
+// ISSUE-9: the lock-free ObjectTable + TLS entry cache behind both
+// dependency systems.  The laws under test:
+//
+//   * exactly-one-Entry pin: every thread racing lookupOrCreate on the
+//     same address gets the SAME Entry pointer (a lost CAS adopts the
+//     winner), and distinct addresses get distinct entries;
+//   * pointer stability: entries never move, not across growth past the
+//     first segment and not across epoch invalidation;
+//   * TLS cache soundness: a hit returns the same pointer a probe
+//     would, and invalidateThreadCaches() forces the next lookup per
+//     thread back through the shared probe (no stale hit after reset).
+#include "deps/object_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "memory/stable_pool.hpp"
+
+namespace ats {
+namespace {
+
+struct Payload {
+  std::uint64_t value = 0;
+};
+
+void* key(std::uintptr_t index) {
+  // Table keys are addresses; synthesize well-spread, never-dereferenced
+  // ones (aligned like heap pointers so the low-bit shift in the mixer
+  // sees realistic input).
+  return reinterpret_cast<void*>((index + 1) << 6);
+}
+
+TEST(ObjectTableTest, LookupIsIdempotentAndDistinctPerAddress) {
+  ObjectTable<Payload> table;
+  Payload& a = table.lookupOrCreate(key(1));
+  Payload& b = table.lookupOrCreate(key(2));
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(&table.lookupOrCreate(key(1)), &a);
+  EXPECT_EQ(&table.lookupOrCreate(key(2)), &b);
+  EXPECT_EQ(table.entryCount(), 2u);
+}
+
+TEST(ObjectTableTest, SameAddressInsertRaceYieldsExactlyOneEntry) {
+  // N threads race the first touch of the same addresses: the CAS-claim
+  // protocol must publish exactly one Entry per address and every loser
+  // must adopt it.  Threads only COLLECT pointers (entry mutation is
+  // the deps layer's serialization contract, not the table's).
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kAddrs = 512;
+  ObjectTable<Payload> table;
+
+  std::vector<std::vector<Payload*>> got(kThreads);
+  std::atomic<std::size_t> ready{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      got[t].reserve(kAddrs);
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+      }
+      for (std::size_t i = 0; i < kAddrs; ++i) {
+        got[t].push_back(&table.lookupOrCreate(key(i)));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  for (std::size_t t = 1; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < kAddrs; ++i) {
+      ASSERT_EQ(got[t][i], got[0][i])
+          << "thread " << t << " pinned a different entry for address " << i;
+    }
+  }
+  std::set<Payload*> distinct(got[0].begin(), got[0].end());
+  EXPECT_EQ(distinct.size(), kAddrs);
+  EXPECT_EQ(table.entryCount(), kAddrs);
+}
+
+TEST(ObjectTableTest, DistinctAddressInsertRaceKeepsEveryEntryApart) {
+  // Disjoint per-thread address sets racing into the same segments:
+  // no thread's insert may clobber or alias another's.
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 400;
+  ObjectTable<Payload> table;
+
+  std::vector<std::vector<Payload*>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        got[t].push_back(
+            &table.lookupOrCreate(key(t * kPerThread + i)));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  std::set<Payload*> distinct;
+  for (const auto& mine : got) distinct.insert(mine.begin(), mine.end());
+  EXPECT_EQ(distinct.size(), kThreads * kPerThread);
+  EXPECT_EQ(table.entryCount(), kThreads * kPerThread);
+
+  // Every pointer still resolves to itself after the dust settles.
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < kPerThread; ++i) {
+      ASSERT_EQ(&table.lookupOrCreate(key(t * kPerThread + i)), got[t][i]);
+    }
+  }
+}
+
+TEST(ObjectTableTest, GrowthPastFirstSegmentKeepsPointersStable) {
+  // Push well past the first segment's capacity (1024 slots, 16-probe
+  // windows overflow earlier than that) and require (a) extra segments
+  // actually appeared, (b) every previously returned pointer survives
+  // re-lookup — growth appends, never rehashes.
+  constexpr std::size_t kAddrs = 4000;
+  ObjectTable<Payload> table;
+  EXPECT_EQ(table.segmentCount(), 1u);
+
+  std::vector<Payload*> first;
+  first.reserve(kAddrs);
+  for (std::size_t i = 0; i < kAddrs; ++i) {
+    first.push_back(&table.lookupOrCreate(key(i)));
+    first.back()->value = i;
+  }
+  EXPECT_GE(table.segmentCount(), 2u);
+  EXPECT_EQ(table.entryCount(), kAddrs);
+
+  for (std::size_t i = 0; i < kAddrs; ++i) {
+    Payload& again = table.lookupOrCreate(key(i));
+    ASSERT_EQ(&again, first[i]) << "entry " << i << " moved during growth";
+    ASSERT_EQ(again.value, i);
+  }
+}
+
+TEST(ObjectTableTest, InvalidateForcesReprobeButKeepsEntries) {
+  // The stale-hit regression test: after invalidateThreadCaches() (what
+  // the deps systems' reset() calls), the calling thread's next lookup
+  // must MISS the TLS cache — a stale hit would hand back an entry
+  // whose fields reset() is about to clear out from under the caller —
+  // yet still land on the very same (stable) Entry via the probe.
+  ObjectTable<Payload> table;
+  Payload& entry = table.lookupOrCreate(key(7));
+
+  // Warm the TLS slot, then prove it hits.
+  const auto warm = objectTableThreadCacheCounters();
+  ASSERT_EQ(&table.lookupOrCreate(key(7)), &entry);
+  const auto hit = objectTableThreadCacheCounters();
+  EXPECT_EQ(hit.hits, warm.hits + 1);
+  EXPECT_EQ(hit.misses, warm.misses);
+
+  table.invalidateThreadCaches();
+  ASSERT_EQ(&table.lookupOrCreate(key(7)), &entry);
+  const auto afterInvalidate = objectTableThreadCacheCounters();
+  EXPECT_EQ(afterInvalidate.misses, hit.misses + 1)
+      << "lookup after invalidation must reprobe, not trust the stale slot";
+
+  // The re-probe restamped the slot with the new epoch: steady state
+  // hits again.
+  ASSERT_EQ(&table.lookupOrCreate(key(7)), &entry);
+  const auto rewarmed = objectTableThreadCacheCounters();
+  EXPECT_EQ(rewarmed.hits, afterInvalidate.hits + 1);
+}
+
+TEST(ObjectTableTest, TwoTablesNeverAliasInTheSharedThreadCache) {
+  // The TLS cache is shared by every table in the process; the epoch
+  // stamp is what keeps one table's entries from answering another's
+  // lookups for the same address.
+  ObjectTable<Payload> one;
+  ObjectTable<Payload> two;
+  Payload& inOne = one.lookupOrCreate(key(3));
+  Payload& inTwo = two.lookupOrCreate(key(3));
+  EXPECT_NE(&inOne, &inTwo);
+  // Alternate lookups: each table keeps resolving to its own entry.
+  EXPECT_EQ(&one.lookupOrCreate(key(3)), &inOne);
+  EXPECT_EQ(&two.lookupOrCreate(key(3)), &inTwo);
+  EXPECT_EQ(&one.lookupOrCreate(key(3)), &inOne);
+}
+
+TEST(ObjectTableTest, ForEachVisitsEveryEntryOnce) {
+  ObjectTable<Payload> table;
+  constexpr std::size_t kAddrs = 300;
+  for (std::size_t i = 0; i < kAddrs; ++i) {
+    table.lookupOrCreate(key(i)).value = 1;
+  }
+  std::size_t visited = 0;
+  table.forEach([&](Payload& p) {
+    visited += p.value;  // 1 per entry; a double-visit would overshoot
+  });
+  EXPECT_EQ(visited, kAddrs);
+}
+
+TEST(StablePoolTest, StridesRespectAlignmentAndRecycleReuses) {
+  StablePool pool(/*blockBytes=*/24, /*blockAlign=*/64,
+                  /*blocksPerChunk=*/4);
+  EXPECT_EQ(pool.blockStride(), 64u);
+
+  void* a = pool.allocate();
+  void* b = pool.allocate();
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 64, 0u);
+  EXPECT_NE(a, b);
+
+  // A recycled (never-published) block comes back before fresh carving.
+  pool.recycle(b);
+  EXPECT_EQ(pool.allocate(), b);
+
+  // Exhausting a chunk grows a new one; addresses never repeat.
+  std::set<void*> seen{a, b};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(seen.insert(pool.allocate()).second);
+  }
+  EXPECT_GE(pool.chunkCount(), 3u);
+}
+
+}  // namespace
+}  // namespace ats

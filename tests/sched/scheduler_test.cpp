@@ -445,6 +445,67 @@ TEST(PolicyTest, NumaFifoConservesAcrossDomainsExactlyOnce) {
   for (std::size_t i = 0; i < pool.size(); ++i) EXPECT_EQ(all[i], &pool[i]);
 }
 
+TEST(PolicyTest, NumaFifoConcurrentAddGetConservesWithoutOuterLock) {
+  // ISSUE-9: the per-domain lock hierarchy IS the serialization now —
+  // hammer the policy from concurrent producers and consumers pinned to
+  // different domains, with NO outer lock, and require exactly-once
+  // delivery.  (Every other policy still needs the scheduler's mutual
+  // exclusion; NumaFifo must stand alone.)
+  Topology topo;
+  topo.numCpus = 8;
+  topo.numNumaDomains = 4;  // CPUs 2d, 2d+1 -> domain d
+  NumaFifoPolicy numa(topo);
+
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kConsumers = 4;
+  constexpr std::size_t kPerProducer = 5000;
+  std::vector<Task> pool(kProducers * kPerProducer);
+  std::vector<std::atomic<int>> popped(pool.size());
+
+  std::atomic<std::size_t> producersLive{kProducers};
+  std::atomic<std::size_t> consumed{0};
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      // Producer p feeds domain p through CPU 2p; single and bulk adds
+      // land interleaved with every consumer's pulls.
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        numa.addTask(&pool[p * kPerProducer + i], 2 * p);
+      }
+      producersLive.fetch_sub(1, std::memory_order_release);
+    });
+  }
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&, c] {
+      // Consumer c is homed on domain c (CPU 2c+1) but drains remote
+      // domains too once its own runs dry — the cross-domain fallback
+      // path under real concurrency.
+      Task* out[8];  // 7 bulk + 1 single per round
+      while (consumed.load(std::memory_order_relaxed) < pool.size()) {
+        std::size_t got = numa.getTasks(out, 7, 2 * c + 1);
+        if (Task* t = numa.getTask(2 * c + 1)) out[got++] = t;
+        for (std::size_t i = 0; i < got; ++i) {
+          const auto index = static_cast<std::size_t>(out[i] - pool.data());
+          popped[index].fetch_add(1, std::memory_order_relaxed);
+        }
+        if (got != 0) {
+          consumed.fetch_add(got, std::memory_order_relaxed);
+        } else if (producersLive.load(std::memory_order_acquire) == 0 &&
+                   consumed.load(std::memory_order_relaxed) == pool.size()) {
+          break;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(consumed.load(), pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    ASSERT_EQ(popped[i].load(), 1) << "task " << i
+                                   << " delivered zero or multiple times";
+  }
+}
+
 TEST(PolicyTest, NumaFifoToleratesDegenerateTopology) {
   // A hand-built zero-domain topology must degrade to one global FIFO,
   // not divide by zero inside the domain math.
