@@ -1,0 +1,155 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ats {
+
+/// What an armed failpoint does when its probability/count gate fires.
+enum class FailpointMode : std::uint8_t {
+  Off,      ///< not armed; the site costs one relaxed load
+  Throw,    ///< throw FailpointError (exception-containment drills)
+  DelayUs,  ///< sleep `delayUs` microseconds (latency/stall injection)
+  Abort,    ///< ats::fatal (crash-consistency drills; dumps the tracer)
+};
+
+/// The exception Throw-mode failpoints raise.  Carries the failpoint's
+/// registry id so the runtime's catch frame can stamp it into the
+/// TaskFailed trace payload — a trace reader can then tell WHICH
+/// chokepoint was injected without string matching.
+class FailpointError : public std::runtime_error {
+ public:
+  FailpointError(const std::string& name, std::uint32_t id)
+      : std::runtime_error("ats::failpoint fired: " + name), id_(id) {}
+
+  std::uint32_t id() const { return id_; }
+
+ private:
+  std::uint32_t id_;
+};
+
+/// One named fault-injection chokepoint.  Sites reference a Failpoint
+/// through the ATS_FAILPOINT macro below; arming happens out-of-band
+/// (env or FailpointRegistry API), so the site itself never takes a
+/// lock: the unarmed check is a single relaxed load of `armed_`.
+///
+/// Node addresses are stable for the process lifetime (the registry
+/// never erases), which is what lets every site cache a reference in a
+/// function-local static.
+class Failpoint {
+ public:
+  Failpoint(std::string name, std::uint32_t id)
+      : name_(std::move(name)), id_(id) {}
+
+  Failpoint(const Failpoint&) = delete;
+  Failpoint& operator=(const Failpoint&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::uint32_t id() const { return id_; }
+
+  /// The site-side unarmed check: one relaxed load, no fence, no RMW.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Slow path, reached only while armed: roll the probability gate,
+  /// spend one shot of the count budget, and perform the mode action.
+  /// May throw FailpointError (Throw mode) or not return (Abort mode).
+  void evaluate();
+
+  /// Arm with `prob` in [0,1] per evaluation and `count` total fires
+  /// (0 = unlimited).  `delayUs` only matters for DelayUs mode.
+  void arm(FailpointMode mode, double prob, std::uint64_t count,
+           std::uint64_t delayUs = 0);
+  void disarm();
+
+  FailpointMode mode() const {
+    return static_cast<FailpointMode>(mode_.load(std::memory_order_relaxed));
+  }
+
+  /// Times an armed site reached evaluate() / times the action actually
+  /// ran.  Unarmed sites count nothing — the fast path stays one load.
+  std::uint64_t evaluations() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t fires() const {
+    return fires_.load(std::memory_order_relaxed);
+  }
+  void resetCounters() {
+    evaluations_.store(0, std::memory_order_relaxed);
+    fires_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::string name_;
+  std::uint32_t id_;
+
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint8_t> mode_{
+      static_cast<std::uint8_t>(FailpointMode::Off)};
+  /// Fire when the thread-local RNG's upper 32 bits fall below this.
+  std::atomic<std::uint32_t> probThreshold_{0};
+  /// Remaining fires; < 0 means unlimited.
+  std::atomic<std::int64_t> remaining_{0};
+  std::atomic<std::uint64_t> delayUs_{0};
+  std::atomic<std::uint64_t> evaluations_{0};
+  std::atomic<std::uint64_t> fires_{0};
+};
+
+/// Process-wide registry of failpoints, keyed by name.  First use parses
+/// `ATS_FAILPOINTS` — a comma-separated list of specs:
+///
+///   name:prob:count[:mode[:delay_us]]
+///
+/// where `prob` is the per-evaluation fire probability in [0,1], `count`
+/// caps total fires (0 = unlimited), and `mode` is one of `throw`
+/// (default), `abort`, `delay-us` (with `delay_us` microseconds, default
+/// 100).  Example — the CI smoke's 1% task-invoke throw:
+///
+///   ATS_FAILPOINTS=task_invoke:0.01:0
+///
+/// Arming a name the binary never reaches is fine (the node just sits
+/// idle); site() and arm() converge on the same node by name.
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& instance();
+
+  /// Find-or-create the node for `name`.  Called once per site through
+  /// the macro's static; also the programmatic arm/inspect entry.
+  Failpoint& site(const char* name);
+
+  /// Parse and apply one `name:prob:count[:mode[:delay_us]]` spec.
+  /// Returns false (arming nothing) on malformed input.
+  bool armFromSpec(const std::string& spec);
+
+  bool arm(const char* name, FailpointMode mode, double prob,
+           std::uint64_t count, std::uint64_t delayUs = 0);
+  void disarm(const char* name);
+  void disarmAll();
+
+  /// Stable snapshot of every registered node (for tests/diagnostics).
+  std::vector<Failpoint*> all();
+
+ private:
+  FailpointRegistry();
+
+  struct Impl;
+  Impl* impl_;  ///< leaked intentionally: sites outlive static dtors
+};
+
+}  // namespace ats
+
+/// Plant a fault-injection chokepoint.  Compiles to a function-local
+/// static bind (guard load after first pass) plus one relaxed load while
+/// unarmed; the evaluate() slow path is only reachable once armed via
+/// ATS_FAILPOINTS or FailpointRegistry.  `name` is a bare identifier —
+/// it is stringized for the registry key.
+#define ATS_FAILPOINT(name)                                      \
+  do {                                                           \
+    static ::ats::Failpoint& ats_failpoint_site_ =               \
+        ::ats::FailpointRegistry::instance().site(#name);        \
+    if (ats_failpoint_site_.armed()) [[unlikely]]                \
+      ats_failpoint_site_.evaluate();                            \
+  } while (0)

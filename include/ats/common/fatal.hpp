@@ -1,0 +1,44 @@
+#pragma once
+
+#include <source_location>
+
+namespace ats {
+
+/// Last-gasp evidence hook, run by fatal() between printing the message
+/// and aborting.  The runtime installs one that binary-dumps its
+/// attached §5 tracer to ATS_TRACE_DIR (the common layer cannot name
+/// the instr layer, so the dependency points upward through this
+/// callback).  Install with ctx; installing nullptr uninstalls.
+/// Single-slot: the most recent install wins — one Runtime at a time
+/// owns the crash evidence, matching the one-shot lifecycle.
+using FatalHook = void (*)(void* ctx);
+void installFatalHook(FatalHook hook, void* ctx);
+
+namespace detail {
+[[noreturn]] void fatalImpl(const char* file, unsigned line,
+                            const char* fmt, ...);
+}  // namespace detail
+
+/// Capture the CALL SITE's file:line without a macro: the format string
+/// converts implicitly and brings its source_location along.
+struct FatalFmt {
+  const char* fmt;
+  std::source_location loc;
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design
+  FatalFmt(const char* f,
+           std::source_location l = std::source_location::current())
+      : fmt(f), loc(l) {}
+};
+
+/// Print `file:line: message` to stderr, run the fatal hook (tracer
+/// flush/binary dump — see installFatalHook), then abort.  The one way
+/// the runtime dies on purpose: every site that used to call a bare
+/// std::abort() loses its in-flight trace evidence; this path saves it.
+/// printf-style; arguments must be C-vararg-passable (the callers all
+/// format counts and names).
+template <typename... Args>
+[[noreturn]] void fatal(FatalFmt fmt, Args... args) {
+  detail::fatalImpl(fmt.loc.file_name(), fmt.loc.line(), fmt.fmt, args...);
+}
+
+}  // namespace ats

@@ -8,6 +8,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/failpoint.hpp"
+
 namespace ats {
 
 // The repo-wide TSan convention (see DTLock::serveBatch and DESIGN.md):
@@ -204,6 +206,10 @@ class ChaseLevDeque {
   /// buffer_ load, so every array lives until the deque is destroyed
   /// (total retired memory is < 2x the final array — geometric series).
   Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    // Failpoint: delay/abort drills only — a throw out of the owner's
+    // push would lose the element mid-submission (DESIGN.md "Failure
+    // domains" lists which sites tolerate throw mode).
+    ATS_FAILPOINT(deque_grow);
     buffers_.push_back(std::make_unique<Buffer>(old->capacity * 2));
     Buffer* fresh = buffers_.back().get();
     for (std::int64_t i = t; i < b; ++i) {

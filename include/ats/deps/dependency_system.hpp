@@ -48,7 +48,13 @@ class DependencySystem {
 
   /// Release every access of a completed task, resolving successor
   /// preconditions; newly-ready tasks surface through the sink with the
-  /// caller's `cpu`.  Called exactly once per task, after its body ran.
+  /// caller's `cpu`.  Called exactly once per task, after its body RAN,
+  /// FAILED (threw), or was SKIPPED by a cancellation drain — an
+  /// implementation must never assume the body executed or infer
+  /// anything from its side effects (failure-domain audit: both
+  /// implementations only walk access nodes the REGISTRATION wrote, so
+  /// released-but-never-run tasks are indistinguishable from ran ones
+  /// here, which is exactly what the skip-don't-run drain relies on).
   virtual void release(DepTask* task, std::size_t cpu) = 0;
 
   /// Quiescent-state cleanup: forget all chains so task descriptors can

@@ -8,6 +8,8 @@
 #include <memory>
 #include <new>
 
+#include "common/failpoint.hpp"
+#include "common/fatal.hpp"
 #include "memory/stable_pool.hpp"
 
 namespace ats {
@@ -226,6 +228,11 @@ class ObjectTable {
   static constexpr std::size_t kProbeWindow = 16;
 
   Entry& lookupOrCreateShared(void* object, std::uint64_t mixed) {
+    // Failpoint: the cold first-touch/insert-race path (TLS tier-1
+    // misses land here).  Delay mode widens the CAS-claim race window —
+    // the same-address adoption drill; a throw would unwind through a
+    // half-registered task, so throw mode is off-limits here.
+    ATS_FAILPOINT(table_insert);
     Node* candidate = nullptr;
     for (std::size_t si = 0; si < kMaxSegments; ++si) {
       Segment& segment = segmentAt(si);
@@ -258,11 +265,9 @@ class ObjectTable {
       // Window full of other keys in this segment — the key, if
       // present, can only live in a later (larger) segment.
     }
-    std::fprintf(stderr,
-                 "ats::ObjectTable: exhausted %zu doubling segments — "
-                 "unreachably many distinct dependency objects\n",
-                 kMaxSegments);
-    std::abort();
+    fatal("ats::ObjectTable: exhausted %zu doubling segments — "
+          "unreachably many distinct dependency objects",
+          kMaxSegments);
   }
 
   Segment& segmentAt(std::size_t si) {

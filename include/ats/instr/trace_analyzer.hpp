@@ -48,6 +48,17 @@ struct TraceAnalysis {
   std::uint64_t taskStartCount = 0;  ///< TaskStart events, all streams
   double stealRatio = 0;
 
+  /// Failure-domain counters (trace format v4).  taskFailedCount are
+  /// bodies that threw (their busy interval is closed by TaskFailed,
+  /// not TaskEnd); taskSkippedCount are ready tasks drained unrun after
+  /// the graph poisoned; graphCancelledCount counts poisonings (>1 when
+  /// one Runtime ran several batches through one tracer).  Conservation
+  /// under failure reads as: starts == ends + fails, and starts + skips
+  /// == spawns.
+  std::uint64_t taskFailedCount = 0;
+  std::uint64_t taskSkippedCount = 0;
+  std::uint64_t graphCancelledCount = 0;
+
   /// Longest gap between consecutive SchedServe events — the fig11
   /// signal: a displaced lock holder shows up as one huge serve gap.
   double maxServeGapUs = 0;

@@ -21,10 +21,15 @@ struct TraceWriter {
   /// v2: SchedServe payload became "tasks handed off in the burst"
   /// (was: waiter CPU).  v3: that count split into the packed
   /// local/remote hand-off pair (trace_event.hpp's packServePayload).
-  /// The record layout is unchanged each time, but a stale file's serve
-  /// payloads would silently skew the analyzer's served/cross-domain
-  /// sums, so the version gate makes old traces fail loudly instead.
-  static constexpr std::uint32_t kVersion = 3;
+  /// v4: the failure-domain events (TaskFailed/TaskSkipped/
+  /// GraphCancelled) — and with them a semantic change to existing
+  /// records: a TaskStart may now be closed by TaskFailed instead of
+  /// TaskEnd, so a v3 reader's TaskStart/End pairing (and every busy/
+  /// conservation statistic built on it) silently undercounts failed
+  /// runs.  The record layout is unchanged each time, but stale
+  /// readers would skew analyzer sums silently, so the version gate
+  /// makes old traces fail loudly instead.
+  static constexpr std::uint32_t kVersion = 4;
 
   /// Fixed 24-byte file header preceding the record array.
   struct BinaryHeader {

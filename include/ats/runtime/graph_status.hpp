@@ -1,0 +1,114 @@
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <exception>
+
+namespace ats {
+
+/// Per-Runtime failure state for the current task graph (the window
+/// between two quiescent points).
+///
+/// Two pieces, deliberately separate:
+///
+///   * the CANCELLATION TOKEN (`cancelled_`): one relaxed bool the
+///     runtime's execute path loads per dequeued task.  Once set — by a
+///     task body throwing or by Runtime::cancel() — subsequent ready
+///     tasks are SKIPPED: body never runs, dependencies still release,
+///     so the graph drains to quiescence instead of deadlocking on
+///     successors that will never be satisfied.
+///   * the STICKY FIRST-ERROR SLOT: a CAS-claimed exception_ptr holder.
+///     Concurrent failures race one CAS; exactly one wins and stores
+///     its exception_ptr, every later failure is counted but dropped —
+///     taskwaitChecked() rethrows the FIRST captured error, mirroring
+///     what a serial execution of the graph would have surfaced first.
+///
+/// Ordering: the skip check is best-effort by design.  A task already
+/// dequeued when the token flips still runs — but a task that becomes
+/// ready BECAUSE a poisoned task completed observes the token: the
+/// poison store is sequenced before the failing task's release, and
+/// the successor is only reachable through the scheduler's own
+/// release/acquire hand-off.  That is exactly the guarantee the
+/// drain needs (no successor of a failed task runs), without any
+/// fence on the non-failing fast path.
+///
+/// `failed_`/`skipped_` are LIFETIME counters (they survive reset) so
+/// tests and the fault-injection smoke can audit conservation across
+/// batches: executed + failed + skipped == spawned.
+class GraphStatus {
+ public:
+  /// The per-dequeue check: one relaxed load.
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Record a captured task failure.  Returns true when this call is
+  /// the one that flipped the token (the caller emits GraphCancelled).
+  bool poison(std::exception_ptr error) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    int expected = kEmpty;
+    if (errorState_.compare_exchange_strong(expected, kClaiming,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+      firstError_ = std::move(error);
+      errorState_.store(kSet, std::memory_order_release);
+    }
+    return !cancelled_.exchange(true, std::memory_order_acq_rel);
+  }
+
+  /// Caller-initiated abort: poison without an error.  A later
+  /// taskwaitChecked() returns normally — cancellation the caller asked
+  /// for is not a failure.  Returns true when this call flipped the
+  /// token.
+  bool cancel() {
+    return !cancelled_.exchange(true, std::memory_order_acq_rel);
+  }
+
+  void noteSkip() { skipped_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Move the first captured error out (empty when the graph only ever
+  /// saw cancel() or nothing at all).  Quiescence-only: the caller
+  /// guarantees no poison() is in flight, so kClaiming cannot be
+  /// observed here.
+  std::exception_ptr takeFirstError() {
+    const int state = errorState_.load(std::memory_order_acquire);
+    assert(state != kClaiming &&
+           "takeFirstError before the graph drained to quiescence");
+    if (state != kSet) return nullptr;
+    std::exception_ptr error = std::move(firstError_);
+    firstError_ = nullptr;
+    errorState_.store(kEmpty, std::memory_order_relaxed);
+    return error;
+  }
+
+  /// Re-arm for the next batch (quiescence-only).  Clears the token and
+  /// the error slot; the lifetime failure/skip counters survive.
+  void reset() {
+    if (errorState_.load(std::memory_order_acquire) == kSet) {
+      firstError_ = nullptr;
+      errorState_.store(kEmpty, std::memory_order_relaxed);
+    }
+    cancelled_.store(false, std::memory_order_release);
+  }
+
+  std::uint64_t tasksFailed() const {
+    return failed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t tasksSkipped() const {
+    return skipped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr int kEmpty = 0;
+  static constexpr int kClaiming = 1;
+  static constexpr int kSet = 2;
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<int> errorState_{kEmpty};
+  std::exception_ptr firstError_;
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> skipped_{0};
+};
+
+}  // namespace ats

@@ -3,24 +3,30 @@
 #include <atomic>
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
 #include <memory>
 #include <new>
 #include <span>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "common/failpoint.hpp"
 #include "deps/access.hpp"
 #include "deps/dependency_system.hpp"
 #include "locks/locks.hpp"
 #include "memory/allocator.hpp"
+#include "runtime/graph_status.hpp"
 #include "runtime/runtime_config.hpp"
 #include "runtime/scheduler_factory.hpp"
 #include "runtime/task.hpp"
 
 namespace ats {
+
+class Watchdog;  // runtime/watchdog.hpp; only the .cpp needs the type
 
 /// The tasking runtime the paper benchmarks: worker threads (one per
 /// Topology CPU, pinned when the host has the cores for it) pulling from
@@ -83,7 +89,16 @@ class Runtime {
   template <typename Fn>
   void spawn(std::span<const Access> accesses, Fn&& fn) {
     Task* task = allocateTask();
-    installClosure(task, std::forward<Fn>(fn));
+    try {
+      installClosure(task, std::forward<Fn>(fn));
+    } catch (...) {
+      // Closure construction/spill failed (copy ctor threw, or the
+      // closure_spill failpoint fired): the descriptor was never
+      // registered, so dropping its execution reference reclaims it and
+      // conservation holds — liveDescriptors() still returns to zero.
+      task->dropRef();
+      throw;
+    }
     registerAndSubmit(task, accesses);
   }
 
@@ -93,7 +108,27 @@ class Runtime {
 
   /// Wait until every spawned task has completed, helping execute ready
   /// tasks meanwhile, then recycle descriptors and dependency chains.
+  /// If a task body threw (or cancel() was called), the graph DRAINS —
+  /// remaining ready tasks are skipped, not run — and this variant
+  /// silently discards the captured error; use taskwaitChecked() to
+  /// observe it.
   void taskwait();
+
+  /// taskwait() that rethrows the FIRST exception captured from a task
+  /// body after the graph drains to quiescence (descriptors reclaimed,
+  /// chains reset — conservation holds before the throw reaches the
+  /// caller).  Returns normally when nothing failed, including after a
+  /// caller-initiated cancel().  Either way the failure state is
+  /// cleared: the next batch starts clean.
+  void taskwaitChecked();
+
+  /// Poison the current graph from any thread: ready tasks dequeued
+  /// from here on are skipped (dependencies still released, so the
+  /// graph drains), and the next taskwait returns once in-flight
+  /// bodies finish.  Idempotent; racing a task failure is fine (first
+  /// poisoner wins the trace event, the error slot keeps the first
+  /// captured exception).
+  void cancel();
 
   const RuntimeConfig& config() const { return config_; }
   Scheduler& scheduler() { return *sched_; }
@@ -117,6 +152,18 @@ class Runtime {
   /// reserved spawner slot for any non-worker thread.
   std::size_t callerCpu() const;
 
+  /// Lifetime failure counters (they survive taskwait/reset), for
+  /// conservation audits: executed + tasksFailed() + tasksSkipped() ==
+  /// spawned, across every batch this Runtime ever ran.
+  std::uint64_t tasksFailed() const { return graph_.tasksFailed(); }
+  std::uint64_t tasksSkipped() const { return graph_.tasksSkipped(); }
+
+  /// Monotonic count of retired tasks (completed, failed, or skipped) —
+  /// the watchdog's progress probe, public so tests can assert on it.
+  std::uint64_t tasksRetired() const {
+    return retired_.load(std::memory_order_relaxed);
+  }
+
  private:
   template <typename Fn>
   void installClosure(Task* task, Fn&& fn) {
@@ -135,6 +182,7 @@ class Runtime {
       // Heap spill through the same §4 allocator as the descriptor —
       // closure churn is task churn.  Over-aligned captures (rare) fall
       // back to aligned operator new, which the pool cannot guarantee.
+      ATS_FAILPOINT(closure_spill);
       if constexpr (alignof(F) <= Allocator::kAlignment) {
         void* mem = alloc_->allocate(sizeof(F));
         task->arg = ::new (mem) F(std::forward<Fn>(fn));
@@ -160,8 +208,16 @@ class Runtime {
   Task* allocateTask();
   void registerAndSubmit(Task* task, std::span<const Access> accesses);
   void workerLoop(std::size_t cpu);
+  /// The one place a dequeued task's body runs: skip check against the
+  /// graph's cancellation token, TaskStart/End|Failed tracing, the
+  /// catch frame that turns a throwing body into a poisoned graph, and
+  /// the unconditional complete() that keeps conservation true on every
+  /// path (run, fail, skip).
+  void executeTask(Task* task, std::size_t cpu);
+  void drainAndHelp();
   void complete(Task* task);
   void quiesce();
+  std::string watchdogReport() const;
 
   static void completeThunk(Task& task);
   static void reclaimThunk(DepTask& task);
@@ -191,6 +247,11 @@ class Runtime {
   std::atomic<std::size_t> inFlight_{0};
   std::atomic<bool> stop_{false};
   std::vector<std::thread> workers_;
+
+  GraphStatus graph_;
+  std::atomic<std::uint64_t> retired_{0};
+  std::thread::id spawnerThread_;
+  std::unique_ptr<Watchdog> watchdog_;  // destroyed first: see ~Runtime
 };
 
 }  // namespace ats

@@ -28,6 +28,14 @@ class Scheduler {
   explicit Scheduler(Tracer* tracer = nullptr) : tracer_(tracer) {}
   virtual ~Scheduler() = default;
 
+  /// Failure-domain audit (all four kinds): a scheduler only ever moves
+  /// opaque Task pointers — it never reads task state that depends on
+  /// the body having run, and it never learns whether a task it handed
+  /// out executed, failed, or was skipped by a cancellation drain.  The
+  /// one obligation the drain adds is already the base contract: every
+  /// task accepted by addReadyTask is handed out exactly once (none
+  /// dropped, none duplicated), because the runtime's skip path still
+  /// needs to dequeue the task to release its dependencies.
   virtual void addReadyTask(Task* task, std::size_t cpu) = 0;
   virtual Task* getReadyTask(std::size_t cpu) = 0;
 

@@ -1,0 +1,217 @@
+#include "common/failpoint.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/fatal.hpp"
+
+namespace ats {
+
+namespace {
+
+/// Per-thread xorshift64* — the probability gate must not serialize
+/// armed sites on a shared RNG line, and must not perturb the timing
+/// it is injecting faults into.
+std::uint64_t rngNext() {
+  thread_local std::uint64_t state =
+      0x9E3779B97F4A7C15ull ^
+      (std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1ull);
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545F4914F6CDD1Dull;
+}
+
+FailpointMode parseMode(const std::string& token, bool& ok) {
+  ok = true;
+  if (token == "throw") return FailpointMode::Throw;
+  if (token == "abort") return FailpointMode::Abort;
+  if (token == "delay-us" || token == "delay") return FailpointMode::DelayUs;
+  ok = false;
+  return FailpointMode::Off;
+}
+
+}  // namespace
+
+void Failpoint::arm(FailpointMode mode, double prob, std::uint64_t count,
+                    std::uint64_t delayUs) {
+  if (prob < 0.0) prob = 0.0;
+  if (prob > 1.0) prob = 1.0;
+  // prob == 1.0 must ALWAYS fire; the threshold compare is strict-less,
+  // so saturate to the max representable gate.
+  const auto threshold =
+      prob >= 1.0 ? ~std::uint32_t{0}
+                  : static_cast<std::uint32_t>(prob * 4294967296.0);
+  probThreshold_.store(threshold, std::memory_order_relaxed);
+  remaining_.store(count == 0 ? std::int64_t{-1}
+                              : static_cast<std::int64_t>(count),
+                   std::memory_order_relaxed);
+  delayUs_.store(delayUs, std::memory_order_relaxed);
+  mode_.store(static_cast<std::uint8_t>(mode), std::memory_order_relaxed);
+  // Publish last: a site observing armed sees a fully-configured node
+  // (the fields above are only read after this load in evaluate()).
+  armed_.store(mode != FailpointMode::Off, std::memory_order_release);
+}
+
+void Failpoint::disarm() {
+  armed_.store(false, std::memory_order_release);
+  mode_.store(static_cast<std::uint8_t>(FailpointMode::Off),
+              std::memory_order_relaxed);
+}
+
+void Failpoint::evaluate() {
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t threshold =
+      probThreshold_.load(std::memory_order_relaxed);
+  if (threshold != ~std::uint32_t{0} &&
+      static_cast<std::uint32_t>(rngNext() >> 32) >= threshold) {
+    return;
+  }
+  // Capture the mode BEFORE spending the budget: the last shot disarms,
+  // and disarm() resets mode_ to Off — reading it afterwards would turn
+  // the Nth fire into a silent no-op.
+  const auto mode =
+      static_cast<FailpointMode>(mode_.load(std::memory_order_relaxed));
+  // Spend one shot of the count budget.  A lost race past zero is
+  // restored, so a `count`-armed failpoint fires exactly count times
+  // no matter how many threads hit it concurrently.
+  std::int64_t remaining = remaining_.load(std::memory_order_relaxed);
+  if (remaining >= 0) {
+    const std::int64_t before =
+        remaining_.fetch_sub(1, std::memory_order_relaxed);
+    if (before <= 0) {
+      remaining_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (before == 1) disarm();  // budget spent: back to the one-load path
+  }
+  fires_.fetch_add(1, std::memory_order_relaxed);
+  switch (mode) {
+    case FailpointMode::Throw:
+      throw FailpointError(name_, id_);
+    case FailpointMode::DelayUs:
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          delayUs_.load(std::memory_order_relaxed)));
+      return;
+    case FailpointMode::Abort:
+      fatal("failpoint '%s' fired in abort mode (ATS_FAILPOINTS drill)",
+            name_.c_str());
+    case FailpointMode::Off:
+      return;
+  }
+}
+
+struct FailpointRegistry::Impl {
+  std::mutex lock;
+  // unique_ptr nodes: Failpoint addresses must stay stable while the
+  // map rehashes (sites cache references forever).
+  std::unordered_map<std::string, std::unique_ptr<Failpoint>> nodes;
+  std::uint32_t nextId = 1;  // 0 = "not a failpoint" in trace payloads
+};
+
+FailpointRegistry::FailpointRegistry() : impl_(new Impl) {
+  // Env arming happens exactly once, before any site can be armed —
+  // instance() construction is the first thing every ATS_FAILPOINT
+  // static init runs through.
+  const char* spec = std::getenv("ATS_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return;
+  std::string all(spec);
+  std::size_t start = 0;
+  while (start <= all.size()) {
+    const std::size_t comma = all.find(',', start);
+    const std::string one =
+        all.substr(start, comma == std::string::npos ? std::string::npos
+                                                     : comma - start);
+    if (!one.empty() && !armFromSpec(one)) {
+      std::fprintf(stderr,
+                   "ats: ATS_FAILPOINTS: ignoring malformed spec '%s' "
+                   "(want name:prob:count[:mode[:delay_us]])\n",
+                   one.c_str());
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+}
+
+FailpointRegistry& FailpointRegistry::instance() {
+  // Leaked on purpose: ATS_FAILPOINT statics reference nodes from any
+  // translation unit's destructors, so the registry must never die.
+  static FailpointRegistry* registry = new FailpointRegistry;
+  return *registry;
+}
+
+Failpoint& FailpointRegistry::site(const char* name) {
+  std::lock_guard<std::mutex> guard(impl_->lock);
+  auto it = impl_->nodes.find(name);
+  if (it == impl_->nodes.end()) {
+    it = impl_->nodes
+             .emplace(name,
+                      std::make_unique<Failpoint>(name, impl_->nextId++))
+             .first;
+  }
+  return *it->second;
+}
+
+bool FailpointRegistry::armFromSpec(const std::string& spec) {
+  // name:prob:count[:mode[:delay_us]]
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = spec.find(':', start);
+    fields.push_back(spec.substr(
+        start, colon == std::string::npos ? std::string::npos
+                                          : colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  if (fields.size() < 3 || fields.size() > 5 || fields[0].empty())
+    return false;
+  double prob = 0;
+  std::uint64_t count = 0;
+  std::uint64_t delayUs = 100;
+  try {
+    prob = std::stod(fields[1]);
+    count = std::stoull(fields[2]);
+    if (fields.size() >= 5) delayUs = std::stoull(fields[4]);
+  } catch (...) {
+    return false;
+  }
+  if (prob < 0.0 || prob > 1.0) return false;
+  FailpointMode mode = FailpointMode::Throw;
+  if (fields.size() >= 4) {
+    bool ok = false;
+    mode = parseMode(fields[3], ok);
+    if (!ok) return false;
+  }
+  return arm(fields[0].c_str(), mode, prob, count, delayUs);
+}
+
+bool FailpointRegistry::arm(const char* name, FailpointMode mode,
+                            double prob, std::uint64_t count,
+                            std::uint64_t delayUs) {
+  site(name).arm(mode, prob, count, delayUs);
+  return true;
+}
+
+void FailpointRegistry::disarm(const char* name) { site(name).disarm(); }
+
+void FailpointRegistry::disarmAll() {
+  std::lock_guard<std::mutex> guard(impl_->lock);
+  for (auto& [name, node] : impl_->nodes) node->disarm();
+}
+
+std::vector<Failpoint*> FailpointRegistry::all() {
+  std::lock_guard<std::mutex> guard(impl_->lock);
+  std::vector<Failpoint*> out;
+  out.reserve(impl_->nodes.size());
+  for (auto& [name, node] : impl_->nodes) out.push_back(node.get());
+  return out;
+}
+
+}  // namespace ats

@@ -1,0 +1,66 @@
+#include "common/fatal.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ats {
+
+namespace {
+
+// Hook + ctx in one word-pair, swapped together under a tiny spin so a
+// fatal racing an install never calls a hook with the other owner's
+// ctx.  (fatal is the cold path of cold paths; a CAS loop is fine.)
+struct HookSlot {
+  FatalHook hook = nullptr;
+  void* ctx = nullptr;
+};
+std::atomic<HookSlot*> gHook{nullptr};
+
+}  // namespace
+
+void installFatalHook(FatalHook hook, void* ctx) {
+  HookSlot* next = nullptr;
+  if (hook != nullptr) next = new HookSlot{hook, ctx};
+  HookSlot* prev = gHook.exchange(next, std::memory_order_acq_rel);
+  delete prev;
+}
+
+namespace detail {
+
+void fatalImpl(const char* file, unsigned line, const char* fmt, ...) {
+  // Strip the build-tree prefix down to dir/file — the part a reader
+  // can act on without caring where the checkout lives.
+  const char* shortFile = file;
+  const char* lastSlash = nullptr;
+  const char* prevSlash = nullptr;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      prevSlash = lastSlash;
+      lastSlash = p;
+    }
+  }
+  if (prevSlash != nullptr) {
+    shortFile = prevSlash + 1;
+  } else if (lastSlash != nullptr) {
+    shortFile = lastSlash + 1;
+  }
+  std::fprintf(stderr, "ats: FATAL %s:%u: ", shortFile, line);
+  std::va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+  // Save the evidence before dying: the installed hook flushes the
+  // attached tracer's rings to ATS_TRACE_DIR (see Runtime's install).
+  if (HookSlot* slot = gHook.load(std::memory_order_acquire)) {
+    slot->hook(slot->ctx);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace detail
+
+}  // namespace ats

@@ -3,11 +3,16 @@
 #include <cassert>
 #include <mutex>
 
+#include "common/failpoint.hpp"
+
 namespace ats {
 
 void FineGrainedLocksDeps::registerTask(DepTask* task,
                                         const Access* accesses,
                                         std::size_t count, std::size_t cpu) {
+  // Failpoint: BEFORE any mutation (same contract as deps_register in
+  // the wait-free system) so throw mode is a clean spawn failure.
+  ATS_FAILPOINT(deps_register_locked);
   assert(count <= kMaxAccessesPerTask);
 #ifndef NDEBUG
   for (std::size_t i = 0; i < count; ++i)

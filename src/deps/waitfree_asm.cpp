@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/failpoint.hpp"
+
 namespace ats {
 
 namespace {
@@ -19,6 +21,10 @@ std::uintptr_t packReader(AccessNode* reader, std::uintptr_t flags) {
 
 void WaitFreeAsmDeps::registerTask(DepTask* task, const Access* accesses,
                                    std::size_t count, std::size_t cpu) {
+  // Failpoint: BEFORE any mutation, so throw mode unwinds with the
+  // descriptor untouched and Runtime::registerAndSubmit can reclaim it
+  // cleanly (the spawn-failure drill).
+  ATS_FAILPOINT(deps_register);
   assert(count <= kMaxAccessesPerTask);
 #ifndef NDEBUG
   for (std::size_t i = 0; i < count; ++i)

@@ -97,6 +97,11 @@ void forEachWorkerInterval(const std::vector<TraceRecord>& sorted,
         busySince[r.stream] = r.timeNs;
         break;
       case TraceEvent::TaskEnd:
+      // A throwing body's interval is REAL busy time — the worker was
+      // executing until the throw — so TaskFailed closes the span
+      // exactly like TaskEnd (the failure accounting itself happens in
+      // the counter pass, not here).
+      case TraceEvent::TaskFailed:
         if (busySince[r.stream] != kNever) {
           fn(r.stream, WorkerInterval::Busy, busySince[r.stream], r.timeNs,
              true);
@@ -158,6 +163,15 @@ TraceAnalysis analyzeTrace(const std::vector<TraceRecord>& records,
         break;
       case TraceEvent::TaskStart:
         ++analysis.taskStartCount;
+        break;
+      case TraceEvent::TaskFailed:
+        ++analysis.taskFailedCount;
+        break;
+      case TraceEvent::TaskSkipped:
+        ++analysis.taskSkippedCount;
+        break;
+      case TraceEvent::GraphCancelled:
+        ++analysis.graphCancelledCount;
         break;
       default:
         break;
@@ -259,6 +273,13 @@ std::string formatAnalysis(const TraceAnalysis& analysis) {
                 static_cast<unsigned long long>(analysis.taskStartCount),
                 100.0 * analysis.stealRatio,
                 100.0 * analysis.crossServeRatio);
+  text += line;
+  std::snprintf(line, sizeof(line),
+                "  failed=%llu skipped=%llu cancellations=%llu\n",
+                static_cast<unsigned long long>(analysis.taskFailedCount),
+                static_cast<unsigned long long>(analysis.taskSkippedCount),
+                static_cast<unsigned long long>(
+                    analysis.graphCancelledCount));
   text += line;
   std::snprintf(line, sizeof(line),
                 "  max_serve_gap=%.1fus max_serve_gap_during_irq=%.1fus "

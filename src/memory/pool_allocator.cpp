@@ -7,6 +7,8 @@
 #include <mutex>
 #include <new>
 
+#include "common/failpoint.hpp"
+
 namespace ats {
 
 namespace {
@@ -294,6 +296,11 @@ void PoolAllocator::flushFromMagazine(std::size_t shard, std::size_t cls,
 }
 
 void PoolAllocator::carveChunk(std::size_t shard, std::size_t cls) {
+  // Failpoint: models chunk-reservation failure (the OOM drill).  Throw
+  // mode is exception-safe HERE — the guards below unwind and nothing
+  // is half-linked — but only spawn-path callers (allocateTask, closure
+  // spill) translate the throw into a clean spawn failure.
+  ATS_FAILPOINT(pool_carve);
   const std::size_t blockSize = kClassSizes[cls];
   std::size_t blocks = kChunkTargetBytes / blockSize;
   // Never carve less than a refill batch, so one carve always satisfies

@@ -1,15 +1,23 @@
 #include "runtime/runtime.hpp"
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
 #include <mutex>
+#include <string>
 
+#include "common/fatal.hpp"
+#include "instr/trace_writer.hpp"
 #include "instr/tracer.hpp"
 #include "memory/pool_allocator.hpp"
 #include "memory/system_allocator.hpp"
+#include "runtime/watchdog.hpp"
 
 #if defined(__linux__)
 #include <pthread.h>
 #include <sched.h>
+#include <unistd.h>
 #endif
 
 namespace ats {
@@ -23,6 +31,12 @@ constexpr std::size_t kNoCpu = static_cast<std::size_t>(-1);
 /// thread works for at most one runtime at a time, and worker threads die
 /// with their runtime.
 thread_local std::size_t tlsCpu = kNoCpu;
+
+/// Depth of task bodies on this thread's stack — nonzero exactly while
+/// executeTask is inside an invoker.  Lets taskwait reject the
+/// spawner-helps case (a task body the SPAWNER is executing calls
+/// taskwait: callerCpu() alone cannot tell it from the real spawner).
+thread_local int tlsInTaskDepth = 0;
 
 /// Pin a worker to its topology CPU.  Only attempted when the host
 /// actually has a core per worker — pinning an oversubscribed runtime
@@ -43,6 +57,33 @@ void pinWorker(std::size_t cpu, std::size_t numWorkers) {
 #endif
 }
 
+/// Fatal hook: dump the runtime's tracer rings to a binary trace so a
+/// crash leaves per-worker activity right up to the abort on disk.
+/// Installed only while a traced Runtime is alive; collect() tolerates
+/// concurrent emitters (it snapshots published prefixes), which is the
+/// best any crash path can do.
+void dumpTracerOnFatal(void* ctx) {
+  const Runtime* runtime = static_cast<const Runtime*>(ctx);
+  Tracer* tracer = runtime->config().tracer;
+  if (tracer == nullptr) return;
+  const char* dir = std::getenv("ATS_TRACE_DIR");
+  if (dir == nullptr || *dir == '\0') dir = ".";
+  long pid = 0;
+#if defined(__linux__)
+  pid = static_cast<long>(::getpid());
+#endif
+  const std::string path =
+      std::string(dir) + "/fatal-" + std::to_string(pid) + ".ats";
+  const std::vector<TraceRecord> records = tracer->collect();
+  if (TraceWriter::writeBinary(path, records)) {
+    std::fprintf(stderr, "ats: fatal hook wrote %zu trace records to %s\n",
+                 records.size(), path.c_str());
+  } else {
+    std::fprintf(stderr, "ats: fatal hook failed to write %s\n",
+                 path.c_str());
+  }
+}
+
 }  // namespace
 
 Runtime::Runtime(RuntimeConfig config) : config_(std::move(config)) {
@@ -56,13 +97,19 @@ Runtime::Runtime(RuntimeConfig config) : config_(std::move(config)) {
   // streams, so nothing downstream would fail loudly.
   if (config_.tracer != nullptr &&
       config_.tracer->numCpuStreams() != config_.topo.numCpus) {
-    std::fprintf(stderr,
-                 "ats::Runtime: tracer has %zu CPU streams but the topology "
-                 "has %zu CPUs — construct the Tracer with exactly "
-                 "topo.numCpus streams\n",
-                 config_.tracer->numCpuStreams(), config_.topo.numCpus);
-    std::abort();
+    fatal("ats::Runtime: tracer has %zu CPU streams but the topology has "
+          "%zu CPUs — construct the Tracer with exactly topo.numCpus "
+          "streams",
+          config_.tracer->numCpuStreams(), config_.topo.numCpus);
   }
+  // From here any ats::fatal (watchdog stall, access overflow, nested
+  // taskwait) flushes this runtime's tracer rings to ATS_TRACE_DIR
+  // before aborting.  Last-installed-wins is fine: concurrent Runtimes
+  // sharing a process are a test-only pattern, and the hook is cleared
+  // in the destructor.
+  if (config_.tracer != nullptr)
+    installFatalHook(&dumpTracerOnFatal, this);
+  spawnerThread_ = std::this_thread::get_id();
   // §4: descriptors (and heap-spilled closures) come from the
   // configured allocator — the thread-caching pool for the optimized
   // runtime, plain operator new for the "w/o jemalloc" ablation.
@@ -95,12 +142,37 @@ Runtime::Runtime(RuntimeConfig config) : config_(std::move(config)) {
   for (std::size_t cpu = 0; cpu < config_.topo.numCpus; ++cpu) {
     workers_.emplace_back([this, cpu] { workerLoop(cpu); });
   }
+
+  if (config_.watchdogTimeoutMs > 0) {
+    Watchdog::Options options;
+    options.timeout = std::chrono::milliseconds(config_.watchdogTimeoutMs);
+    options.progress = [this] {
+      return retired_.load(std::memory_order_relaxed);
+    };
+    options.busy = [this] {
+      return inFlight_.load(std::memory_order_relaxed) != 0;
+    };
+    options.report = [this] { return watchdogReport(); };
+    if (config_.watchdogOnStall != nullptr) {
+      options.onStall = [fn = config_.watchdogOnStall,
+                         ctx = config_.watchdogOnStallCtx](
+                            const std::string& report) {
+        fn(ctx, report.c_str());
+      };
+    }
+    watchdog_ = std::make_unique<Watchdog>(std::move(options));
+  }
 }
 
 Runtime::~Runtime() {
+  // Monitor first: its progress/busy/report callbacks read members this
+  // destructor is about to tear down, so it must be gone before any of
+  // them are.
+  watchdog_.reset();
   taskwait();
   stop_.store(true, std::memory_order_release);
   for (std::thread& worker : workers_) worker.join();
+  if (config_.tracer != nullptr) installFatalHook(nullptr, nullptr);
 }
 
 std::size_t Runtime::callerCpu() const {
@@ -148,18 +220,31 @@ void Runtime::registerAndSubmit(Task* task,
   // would silently corrupt the descriptor, and this layer's contract is
   // that misconfigured spawns fail loudly.
   if (accesses.size() > kMaxAccessesPerTask) {
-    std::fprintf(stderr,
-                 "ats::Runtime::spawn(): task declares %zu accesses, the "
-                 "descriptor holds at most %zu\n",
-                 accesses.size(), kMaxAccessesPerTask);
-    std::abort();
+    fatal("ats::Runtime::spawn(): task declares %zu accesses, the "
+          "descriptor holds at most %zu",
+          accesses.size(), kMaxAccessesPerTask);
   }
   task->runtime = this;
   task->onComplete = &completeThunk;
   // Count the task in before registering: the sink can hand it to a
   // worker that runs and completes it before registerTask even returns.
   inFlight_.fetch_add(1, std::memory_order_relaxed);
-  deps_->registerTask(task, accesses.data(), accesses.size(), callerCpu());
+  try {
+    deps_->registerTask(task, accesses.data(), accesses.size(), callerCpu());
+  } catch (...) {
+    // Only the deps_register* failpoints can throw here, and they sit
+    // BEFORE the deps layer mutates anything — so the descriptor is
+    // still wholly ours: undo the in-flight accounting, destroy the
+    // closure, and reclaim it so conservation holds for the caller.
+    inFlight_.fetch_sub(1, std::memory_order_acq_rel);
+    if (task->closureDestroy != nullptr) {
+      task->closureDestroy(*task);
+      task->closureDestroy = nullptr;
+      task->invoker = nullptr;
+    }
+    task->dropRef();
+    throw;
+  }
 }
 
 void Runtime::completeThunk(Task& task) {
@@ -178,6 +263,10 @@ void Runtime::complete(Task* task) {
   // on the spot.  Must precede the inFlight_ decrement so a taskwait'er
   // observing zero knows every drop but the deps layer's own is done.
   task->dropRef();
+  // The watchdog's progress probe: bumps on EVERY retirement — run,
+  // failed, or skipped — so a cancelling graph draining is visibly
+  // making progress, not stalling.
+  retired_.fetch_add(1, std::memory_order_relaxed);
   // Release order: the taskwait'er acquiring inFlight_ == 0 must see
   // every body's side effects.
   inFlight_.fetch_sub(1, std::memory_order_acq_rel);
@@ -186,6 +275,65 @@ void Runtime::complete(Task* task) {
 void Runtime::readyThunk(void* ctx, DepTask* task, std::size_t cpu) {
   Runtime* self = static_cast<Runtime*>(ctx);
   self->sched_->addReadyTask(static_cast<Task*>(task), cpu);
+}
+
+void Runtime::executeTask(Task* task, std::size_t cpu) {
+  Tracer* const tracer = config_.tracer;
+  if (graph_.cancelled()) [[unlikely]] {
+    // Skip path: the body never runs, but complete() still destroys the
+    // closure, releases the dependencies (readying successors, which
+    // will observe the token themselves) and drops the execution
+    // reference — the graph DRAINS under cancellation, it is never
+    // abandoned with descriptors in flight.
+    graph_.noteSkip();
+    if (tracer != nullptr)
+      tracer->emit(cpu, TraceEvent::TaskSkipped,
+                   reinterpret_cast<std::uintptr_t>(task));
+    complete(task);
+    return;
+  }
+  if (tracer != nullptr)
+    tracer->emit(cpu, TraceEvent::TaskStart,
+                 reinterpret_cast<std::uintptr_t>(task));
+  std::exception_ptr error;
+  std::uint64_t failPayload = 0;
+  ++tlsInTaskDepth;
+  try {
+    ATS_FAILPOINT(task_invoke);
+    if (task->invoker != nullptr) {
+      task->invoker(*task);
+    } else if (task->body != nullptr) {
+      task->body(task->arg);
+    } else {
+      fatal("ats::Runtime: task %p has neither a closure nor a raw body — "
+            "misconfigured spawn path",
+            static_cast<void*>(task));
+    }
+  } catch (const FailpointError& caught) {
+    failPayload = caught.id();
+    error = std::current_exception();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  --tlsInTaskDepth;
+  if (error) [[unlikely]] {
+    // Poison BEFORE complete(): complete() is what releases successors,
+    // and the scheduler's release/acquire hand-off is what lets a
+    // successor's skip check observe the token (graph_status.hpp,
+    // ordering note).  TaskFailed closes the busy interval TaskStart
+    // opened; its payload names the firing failpoint (0 = an organic
+    // exception from the body).
+    if (graph_.poison(std::move(error)) && tracer != nullptr)
+      tracer->emit(cpu, TraceEvent::GraphCancelled, 0);
+    if (tracer != nullptr)
+      tracer->emit(cpu, TraceEvent::TaskFailed, failPayload);
+  } else if (tracer != nullptr) {
+    // The descriptor may already be reclaimed; the payload is the
+    // pointer VALUE (a correlation key for Start/End), never followed.
+    tracer->emit(cpu, TraceEvent::TaskEnd,
+                 reinterpret_cast<std::uintptr_t>(task));
+  }
+  complete(task);
 }
 
 void Runtime::workerLoop(std::size_t cpu) {
@@ -214,20 +362,11 @@ void Runtime::workerLoop(std::size_t cpu) {
   while (!stop_.load(std::memory_order_acquire)) {
     Task* task = sched_->getReadyTask(cpu);
     if (task != nullptr) {
-      if (tracer != nullptr) {
-        if (idleStreak >= kIdleEmitStreak)
-          tracer->emit(cpu, TraceEvent::WorkerIdleEnd);
-        tracer->emit(cpu, TraceEvent::TaskStart,
-                     reinterpret_cast<std::uintptr_t>(task));
-      }
+      if (tracer != nullptr && idleStreak >= kIdleEmitStreak)
+        tracer->emit(cpu, TraceEvent::WorkerIdleEnd);
       waiter.reset();
       idleStreak = 0;
-      task->run();
-      // The descriptor may already be reclaimed; the payload is the
-      // pointer VALUE (a correlation key for Start/End), never followed.
-      if (tracer != nullptr)
-        tracer->emit(cpu, TraceEvent::TaskEnd,
-                     reinterpret_cast<std::uintptr_t>(task));
+      executeTask(task, cpu);
     } else {
       ++idleStreak;
       if (tracer != nullptr && idleStreak == kIdleEmitStreak)
@@ -246,17 +385,20 @@ void Runtime::workerLoop(std::size_t cpu) {
   tlsCpu = kNoCpu;
 }
 
-void Runtime::taskwait() {
+void Runtime::drainAndHelp() {
   // Checked in release builds too: a task body calling taskwait would
-  // wait on its own completion (guaranteed hang) while sharing the
-  // reserved spawner slot with the real spawner — fail loudly instead.
-  if (callerCpu() != spawnerCpu_) {
-    std::fprintf(stderr,
-                 "ats::Runtime::taskwait(): called from inside a task "
-                 "(worker slot %zu) — a task waiting on itself can never "
-                 "finish\n",
-                 callerCpu());
-    std::abort();
+  // wait on its own completion (guaranteed hang).  Two shapes of the
+  // same bug: a WORKER-run body (callerCpu() is a worker slot), and a
+  // body the spawner itself is helping with during an outer taskwait
+  // (same thread, so only the task-depth counter can tell).  Nested
+  // taskwait / taskwait-in-task is the open ROADMAP item under
+  // "Production service mode"; until that lands, fail loudly.
+  if (callerCpu() != spawnerCpu_ || tlsInTaskDepth > 0) {
+    fatal("ats::Runtime::taskwait(): called from inside a task (slot %zu, "
+          "task depth %d) — a task waiting on its own completion can "
+          "never finish; nested taskwait is an open ROADMAP item "
+          "(\"Production service mode\")",
+          callerCpu(), tlsInTaskDepth);
   }
   const std::size_t cpu = spawnerCpu_;
   // The spawner emits into its reserved stream (Tracer::spawnerStream).
@@ -264,24 +406,43 @@ void Runtime::taskwait() {
   // spawner-helped tasks appear in the raw record listing (and the
   // collected TaskStart/End totals) but not in any ThreadTraceStats —
   // worker tasksExecuted summing below the spawn count is expected.
-  Tracer* const tracer = config_.tracer;
   SpinWait waiter;
   while (inFlight_.load(std::memory_order_acquire) != 0) {
     Task* task = sched_->getReadyTask(cpu);
     if (task != nullptr) {
-      if (tracer != nullptr)
-        tracer->emit(cpu, TraceEvent::TaskStart,
-                     reinterpret_cast<std::uintptr_t>(task));
       waiter.reset();
-      task->run();
-      if (tracer != nullptr)
-        tracer->emit(cpu, TraceEvent::TaskEnd,
-                     reinterpret_cast<std::uintptr_t>(task));
+      executeTask(task, cpu);
     } else {
       waiter.spin();
     }
   }
   quiesce();
+}
+
+void Runtime::taskwait() {
+  drainAndHelp();
+  // This variant DISCARDS any captured failure (documented on the
+  // declaration): legacy callers and the destructor get drain-and-reset
+  // semantics; taskwaitChecked() is the observing variant.
+  graph_.reset();
+}
+
+void Runtime::taskwaitChecked() {
+  drainAndHelp();
+  // Quiescence first (drainAndHelp returned, so no poison() is in
+  // flight), THEN surface the first captured error.  Descriptors are
+  // already reclaimed and chains reset — conservation holds before the
+  // throw reaches the caller.
+  std::exception_ptr error = graph_.takeFirstError();
+  graph_.reset();
+  if (error) std::rethrow_exception(std::move(error));
+}
+
+void Runtime::cancel() {
+  // First flip wins the trace event; payload 1 = caller-initiated (0 is
+  // the task-failure poisoning in executeTask).
+  if (graph_.cancel() && config_.tracer != nullptr)
+    config_.tracer->emit(callerCpu(), TraceEvent::GraphCancelled, 1);
 }
 
 void Runtime::quiesce() {
@@ -290,6 +451,39 @@ void Runtime::quiesce() {
   // this, every descriptor is back in the allocator.
   deps_->reset();
   assert(liveDescriptors() == 0 && "descriptors leaked past quiescence");
+}
+
+std::string Runtime::watchdogReport() const {
+  // Plain snprintf assembly: this runs on the watchdog thread while the
+  // runtime may be wedged, so it must not allocate through the pool or
+  // touch any lock a stuck worker might hold.
+  char line[256];
+  std::string out = "ats watchdog report:\n";
+  std::snprintf(line, sizeof(line),
+                "  scheduler=%s deps=%s workers=%zu\n",
+                schedulerKindName(config_.scheduler), deps_->name(),
+                config_.topo.numCpus);
+  out += line;
+  std::snprintf(
+      line, sizeof(line),
+      "  inFlight=%zu retired=%llu failed=%llu skipped=%llu cancelled=%d "
+      "liveDescriptors=%zu\n",
+      inFlight_.load(std::memory_order_relaxed),
+      static_cast<unsigned long long>(
+          retired_.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(graph_.tasksFailed()),
+      static_cast<unsigned long long>(graph_.tasksSkipped()),
+      graph_.cancelled() ? 1 : 0, liveDescriptors());
+  out += line;
+  out += "  per-slot descriptor deltas:";
+  for (std::size_t i = 0; i <= config_.topo.numCpus; ++i) {
+    std::snprintf(line, sizeof(line), " %lld",
+                  static_cast<long long>(
+                      descriptorDelta_[i].v.load(std::memory_order_relaxed)));
+    out += line;
+  }
+  out += "\n";
+  return out;
 }
 
 }  // namespace ats

@@ -1,8 +1,6 @@
 #include "runtime/scheduler_factory.hpp"
 
-#include <cstdio>
-#include <cstdlib>
-
+#include "common/fatal.hpp"
 #include "sched/central_mutex_scheduler.hpp"
 #include "sched/policies.hpp"
 #include "sched/ptlock_scheduler.hpp"
@@ -44,11 +42,10 @@ std::unique_ptr<Scheduler> makeScheduler(const RuntimeConfig& config) {
   // A value outside the enum can only come from memory corruption or a
   // missed case after adding a kind.  Until PR 6 this path silently
   // returned nullptr, deferring the failure to a null deref inside the
-  // Runtime; abort at the source instead.
-  std::fprintf(stderr,
-               "ats: makeScheduler: unknown SchedulerKind %d\n",
-               static_cast<int>(config.scheduler));
-  std::abort();
+  // Runtime; fail loudly at the source instead (ats::fatal also gives
+  // any attached tracer its last flush through the fatal hook).
+  fatal("makeScheduler: unknown SchedulerKind %d",
+        static_cast<int>(config.scheduler));
 }
 
 }  // namespace ats

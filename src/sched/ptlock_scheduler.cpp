@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "common/failpoint.hpp"
 #include "instr/tracer.hpp"
 
 namespace ats {
@@ -37,6 +38,9 @@ void PTLockScheduler::addReadyTask(Task* task, std::size_t cpu) {
   SpinWait w;
   bool contendedLogged = false;
   while (!addBuffers_.tryPush(task, cpu)) {
+    // Failpoint: delay/abort drills only (a throw would lose the task);
+    // fires once per retry poll while the ring stays full.
+    ATS_FAILPOINT(addbuf_overflow);
     if (lock_.tryLock()) {
       // Our own domain's shard is enough to empty the full ring; other
       // domains' adds stay put until a getter goes dry (flat fallback

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "common/failpoint.hpp"
 #include "instr/tracer.hpp"
 
 namespace ats {
@@ -33,6 +34,9 @@ void SyncScheduler::addReadyTask(Task* task, std::size_t cpu) {
   // getters that pile up behind a queued adder land in the delegation
   // queue and are retired in one combined burst when the adder enters,
   // instead of each needing its own lock hand-off.
+  // Failpoint: delay/abort drills only — no lock is held yet, but a
+  // throw here would lose the task (see DESIGN.md "Failure domains").
+  ATS_FAILPOINT(addbuf_overflow);
   lock_.lock();
   if (waiterLocality_) {
     // The full ring is ours, and so is its whole domain shard: draining
@@ -92,6 +96,10 @@ void SyncScheduler::serveWaiters(std::size_t cpu) {
 
 void SyncScheduler::serveWaitersBatched(std::size_t cpu,
                                         std::size_t maxServes) {
+  // Failpoint: stretches the combining holder's lock hold (delay mode),
+  // the latency-injection drill for delegation fairness.  DTLock held —
+  // throw mode is off-limits here.
+  ATS_FAILPOINT(serve_batch);
   std::uint64_t waiterCpus[kMaxServeBurst];
   Task* tasks[kMaxServeBurst];
   std::uintptr_t items[kMaxServeBurst];

@@ -1,0 +1,170 @@
+// Failpoint semantics: arm/disarm, probability and count gates, spec
+// parsing, and the macro's unarmed fast path.  Each TEST runs in its own
+// process (gtest_discover_tests), so tests may arm global state freely as
+// long as they disarm on exit paths they share.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.hpp"
+
+namespace ats {
+namespace {
+
+// A test-owned chokepoint: evaluates the macro exactly like a planted
+// site would, returning whether this pass threw.
+bool hitTestSite() {
+  try {
+    ATS_FAILPOINT(test_site);
+    return false;
+  } catch (const FailpointError&) {
+    return true;
+  }
+}
+
+Failpoint& testSite() {
+  return FailpointRegistry::instance().site("test_site");
+}
+
+TEST(FailpointTest, SiteIsFindOrCreateWithStableNonZeroIds) {
+  Failpoint& a = FailpointRegistry::instance().site("fp_alpha");
+  Failpoint& b = FailpointRegistry::instance().site("fp_beta");
+  EXPECT_NE(&a, &b);
+  EXPECT_NE(a.id(), 0u) << "0 means 'not a failpoint' in trace payloads";
+  EXPECT_NE(b.id(), 0u);
+  EXPECT_NE(a.id(), b.id());
+  EXPECT_EQ(&a, &FailpointRegistry::instance().site("fp_alpha"));
+  EXPECT_EQ(a.name(), "fp_alpha");
+}
+
+TEST(FailpointTest, UnarmedSiteNeverEvaluates) {
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(hitTestSite());
+  EXPECT_EQ(testSite().evaluations(), 0u)
+      << "unarmed passes must not reach the slow path at all";
+}
+
+TEST(FailpointTest, CountBudgetFiresExactlyNThenSelfDisarms) {
+  testSite().arm(FailpointMode::Throw, 1.0, 3);
+  int thrown = 0;
+  for (int i = 0; i < 100; ++i) thrown += hitTestSite() ? 1 : 0;
+  EXPECT_EQ(thrown, 3);
+  EXPECT_EQ(testSite().fires(), 3u);
+  EXPECT_FALSE(testSite().armed()) << "budget spent => back to one-load path";
+}
+
+TEST(FailpointTest, ZeroCountMeansUnlimited) {
+  testSite().arm(FailpointMode::Throw, 1.0, 0);
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(hitTestSite());
+  EXPECT_TRUE(testSite().armed());
+  testSite().disarm();
+  EXPECT_FALSE(hitTestSite());
+}
+
+TEST(FailpointTest, ProbabilityZeroEvaluatesButNeverFires) {
+  testSite().arm(FailpointMode::Throw, 0.0, 0);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(hitTestSite());
+  EXPECT_EQ(testSite().evaluations(), 1000u);
+  EXPECT_EQ(testSite().fires(), 0u);
+  testSite().disarm();
+}
+
+TEST(FailpointTest, FractionalProbabilityFiresRoughlyProportionally) {
+  testSite().arm(FailpointMode::Throw, 0.5, 0);
+  int thrown = 0;
+  const int kTrials = 4000;
+  for (int i = 0; i < kTrials; ++i) thrown += hitTestSite() ? 1 : 0;
+  testSite().disarm();
+  // 0.5 +- 5 sigma on 4000 Bernoulli trials: [1842, 2158].
+  EXPECT_GT(thrown, 1842);
+  EXPECT_LT(thrown, 2158);
+}
+
+TEST(FailpointTest, CountBudgetIsExactUnderConcurrency) {
+  constexpr std::uint64_t kBudget = 64;
+  testSite().resetCounters();
+  testSite().arm(FailpointMode::Throw, 1.0, kBudget);
+  std::atomic<int> thrown{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&thrown] {
+      for (int i = 0; i < 1000; ++i)
+        if (hitTestSite()) thrown.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(thrown.load(), static_cast<int>(kBudget))
+      << "racing threads must not overshoot (or undershoot) the budget";
+  EXPECT_EQ(testSite().fires(), kBudget);
+}
+
+TEST(FailpointTest, DelayModeSleepsInsteadOfThrowing) {
+  testSite().arm(FailpointMode::DelayUs, 1.0, 2, /*delayUs=*/100);
+  EXPECT_FALSE(hitTestSite());
+  EXPECT_FALSE(hitTestSite());
+  EXPECT_EQ(testSite().fires(), 2u);
+  EXPECT_FALSE(testSite().armed());
+}
+
+TEST(FailpointTest, ArmFromSpecParsesAllFields) {
+  auto& registry = FailpointRegistry::instance();
+  EXPECT_TRUE(registry.armFromSpec("spec_fp:0.25:7"));
+  Failpoint& fp = registry.site("spec_fp");
+  EXPECT_TRUE(fp.armed());
+  EXPECT_EQ(fp.mode(), FailpointMode::Throw) << "throw is the default mode";
+  fp.disarm();
+
+  EXPECT_TRUE(registry.armFromSpec("spec_fp:1:1:delay-us:250"));
+  EXPECT_EQ(fp.mode(), FailpointMode::DelayUs);
+  fp.disarm();
+
+  EXPECT_TRUE(registry.armFromSpec("spec_fp:1:1:abort"));
+  EXPECT_EQ(fp.mode(), FailpointMode::Abort);
+  fp.disarm();
+}
+
+TEST(FailpointTest, ArmFromSpecRejectsMalformedInput) {
+  auto& registry = FailpointRegistry::instance();
+  EXPECT_FALSE(registry.armFromSpec(""));
+  EXPECT_FALSE(registry.armFromSpec("justname"));
+  EXPECT_FALSE(registry.armFromSpec("name:0.5"));          // missing count
+  EXPECT_FALSE(registry.armFromSpec(":0.5:0"));            // empty name
+  EXPECT_FALSE(registry.armFromSpec("name:notanum:0"));    // bad prob
+  EXPECT_FALSE(registry.armFromSpec("name:1.5:0"));        // prob > 1
+  EXPECT_FALSE(registry.armFromSpec("name:-0.1:0"));       // prob < 0
+  EXPECT_FALSE(registry.armFromSpec("name:0.5:x"));        // bad count
+  EXPECT_FALSE(registry.armFromSpec("name:0.5:0:explode"));  // bad mode
+  EXPECT_FALSE(registry.armFromSpec("name:1:1:delay-us:zz"));  // bad delay
+  EXPECT_FALSE(registry.armFromSpec("a:1:1:throw:0:extra"));   // 6 fields
+}
+
+TEST(FailpointTest, DisarmAllSweepsEveryNode) {
+  auto& registry = FailpointRegistry::instance();
+  registry.arm("sweep_a", FailpointMode::Throw, 1.0, 0);
+  registry.arm("sweep_b", FailpointMode::DelayUs, 1.0, 0, 10);
+  registry.disarmAll();
+  for (Failpoint* fp : registry.all()) EXPECT_FALSE(fp->armed());
+}
+
+TEST(FailpointTest, ErrorCarriesTheSiteRegistryId) {
+  testSite().arm(FailpointMode::Throw, 1.0, 1);
+  try {
+    ATS_FAILPOINT(test_site);
+    FAIL() << "armed prob-1 site must throw";
+  } catch (const FailpointError& error) {
+    EXPECT_EQ(error.id(), testSite().id());
+    EXPECT_NE(std::string(error.what()).find("test_site"),
+              std::string::npos);
+  }
+}
+
+TEST(FailpointAbortDeathTest, AbortModeDiesThroughFatal) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  testSite().arm(FailpointMode::Abort, 1.0, 1);
+  EXPECT_DEATH(hitTestSite(), "ats: FATAL .*failpoint 'test_site' fired");
+}
+
+}  // namespace
+}  // namespace ats
